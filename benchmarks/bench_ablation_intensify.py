@@ -1,0 +1,68 @@
+"""A4 — ablation: the §3.2 intensification procedures.
+
+Runs sequential TS with each intensification mode — none, component swap,
+depth-limited strategic oscillation, both — at an equal evaluation budget.
+
+Expected shape: every intensifying mode is at least as good as `none` in
+aggregate, and `both` (the paper's configuration) is competitive with the
+best single mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_generic
+from repro.core import (
+    Budget,
+    IntensificationKind,
+    Strategy,
+    TabuSearch,
+    TabuSearchConfig,
+    random_solution,
+)
+from repro.instances import gk_instance
+
+from common import publish, scaled
+
+SEEDS = range(5)
+EVALS = 30_000
+INSTANCES = (7, 11, 16)  # GK08 5x150, GK11 10x100, GK16 15x200
+
+
+def run_sweep() -> list[list[object]]:
+    rows = []
+    for kind in IntensificationKind:
+        total = 0.0
+        for number in INSTANCES:
+            inst = gk_instance(number)
+            for seed in SEEDS:
+                ts = TabuSearch(
+                    inst,
+                    Strategy(lt_length=10, nb_drop=2, nb_local=25),
+                    TabuSearchConfig(nb_div=1_000_000, intensification=kind),
+                    rng=seed,
+                )
+                result = ts.run(
+                    x_init=random_solution(inst, rng=seed),
+                    budget=Budget(max_evaluations=scaled(EVALS)),
+                )
+                total += result.best.value
+        rows.append([kind.value, round(total / (len(SEEDS) * len(INSTANCES)))])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_intensification(benchmark, capsys):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    body = render_generic(["intensification", "mean best (3 GK instances)"], rows)
+    publish(
+        "ablation_intensify",
+        "A4 — intensification mode ablation (SEQ TS, equal budget)",
+        body,
+        capsys,
+    )
+
+    by_kind = {r[0]: r[1] for r in rows}
+    assert by_kind["both"] >= 0.995 * by_kind["none"]
+    assert max(by_kind["swap"], by_kind["oscillation"], by_kind["both"]) >= by_kind["none"]

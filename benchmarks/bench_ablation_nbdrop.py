@@ -1,0 +1,78 @@
+"""A2 — ablation: move weight (``Nb_drop``) vs step size and disruption.
+
+§4.1: "Experimental tests [9] have shown that, when the number of
+consecutive drops (nb_drop) done in a move is small (less than 3), the
+objective function changes less rapidly and the visited solutions are
+close ones another.  When the value of nb_drop becomes high, the
+variations in the objective function are more important and the visited
+solutions are distant ones another."
+
+This bench measures exactly those two statistics — mean |ΔF| per move and
+mean Hamming distance per move — as a function of ``Nb_drop``.
+
+Expected shape: both statistics increase monotonically (modulo noise) with
+``Nb_drop``; the small/large regimes differ by a clear factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_generic
+from repro.core import (
+    Budget,
+    MoveEngine,
+    SearchState,
+    TabuList,
+    greedy_solution,
+)
+from repro.instances import gk_instance
+
+from common import publish, scaled
+
+DROPS = [1, 2, 3, 4, 6, 8]
+MOVES = 150
+
+
+def run_measurement() -> list[list[object]]:
+    inst = gk_instance(11)  # 10x150
+    rows = []
+    for nb_drop in DROPS:
+        deltas = []
+        steps = []
+        rng = np.random.default_rng(0)
+        state = SearchState.from_solution(inst, greedy_solution(inst))
+        tabu = TabuList(inst.n_items, tenure=8)
+        engine = MoveEngine(state, tabu, rng)
+        best = state.value
+        previous_x = state.x.copy()
+        for _ in range(scaled(MOVES)):
+            value_before = state.value
+            record = engine.apply(nb_drop, best)
+            best = max(best, state.value)
+            tabu.tick()
+            if record.touched:
+                tabu.make_tabu(np.asarray(record.touched))
+            deltas.append(abs(state.value - value_before))
+            steps.append(int(np.count_nonzero(state.x != previous_x)))
+            previous_x = state.x.copy()
+        rows.append(
+            [nb_drop, round(float(np.mean(deltas)), 1), round(float(np.mean(steps)), 2)]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_nbdrop(benchmark, capsys):
+    rows = benchmark.pedantic(run_measurement, rounds=1, iterations=1)
+    body = render_generic(["Nb_drop", "mean |dF| per move", "mean Hamming step"], rows)
+    publish("ablation_nbdrop", "A2 — Nb_drop vs objective variation and step size", body, capsys)
+
+    by_drop = {r[0]: (r[1], r[2]) for r in rows}
+    # The paper's small (<3) vs large regimes must separate clearly.
+    assert by_drop[8][0] > 1.5 * by_drop[1][0], "objective variation must grow with Nb_drop"
+    assert by_drop[8][1] > 1.5 * by_drop[1][1], "step distance must grow with Nb_drop"
+    # Hamming step grows monotonically across the sweep (allowing tiny noise).
+    steps = [r[2] for r in rows]
+    assert all(b >= a * 0.95 for a, b in zip(steps, steps[1:]))

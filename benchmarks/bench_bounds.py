@@ -1,0 +1,91 @@
+"""B1 — the exact substrate's bound panel: tightness vs cost.
+
+Not a paper artifact, but the substrate's quality control: every "Dev. in
+%" column and every B&B proof rests on these bounds.  For a spread of
+suite instances we report, for each bound, its mean gap above the proven
+optimum (small instances) or above the LP value (large ones, where LP is
+the reference), and its computation time.
+
+Expected shape: LP is the tightest, the surrogate (LP-dual multipliers)
+close behind, Lagrangian approaches LP from above (integrality property),
+and the single-constraint Dantzig bound on the uniform aggregation is the
+loosest but cheapest.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_generic
+from repro.exact import (
+    SurrogateBound,
+    branch_and_bound,
+    dantzig_bound,
+    lagrangian_bound,
+    solve_lp_relaxation,
+)
+from repro.instances import fp57_instance, gk_instance
+
+from common import publish, scaled
+
+
+def run_panel():
+    # Small FP problems (proven optima) + medium GK ones (LP reference).
+    small = [fp57_instance(k, with_optimum=True) for k in (4, 22, 36, 51)]
+    large = [gk_instance(k) for k in (9, 13, 17)]
+
+    sums = {name: [0.0, 0.0] for name in ("LP", "surrogate", "Lagrangian", "Dantzig-uniform")}
+
+    def record(name: str, value: float, reference: float, seconds: float) -> None:
+        sums[name][0] += 100.0 * (value - reference) / reference
+        sums[name][1] += seconds
+
+    for inst in small + large:
+        t0 = time.perf_counter()
+        lp = solve_lp_relaxation(inst)
+        t_lp = time.perf_counter() - t0
+        reference = inst.optimum if inst.optimum is not None else lp.value
+
+        record("LP", lp.value, reference, t_lp)
+
+        t0 = time.perf_counter()
+        sb = SurrogateBound(inst, lp.duals)
+        record("surrogate", sb.root_bound(), reference, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        lag = lagrangian_bound(inst, iterations=scaled(200))
+        record("Lagrangian", lag.bound, reference, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        uniform = np.ones(inst.n_constraints)
+        dz = dantzig_bound(
+            inst.profits, uniform @ inst.weights, float(uniform @ inst.capacities)
+        )
+        record("Dantzig-uniform", dz, reference, time.perf_counter() - t0)
+
+    n = len(small) + len(large)
+    rows = [
+        [name, round(gap / n, 3), round(1000 * secs / n, 3)]
+        for name, (gap, secs) in sums.items()
+    ]
+    return rows
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_bound_panel(benchmark, capsys):
+    rows = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    body = render_generic(
+        ["bound", "mean gap above reference %", "mean time (ms)"], rows
+    )
+    publish("bounds", "B1 — upper-bound panel (tightness vs cost)", body, capsys)
+
+    gaps = {r[0]: r[1] for r in rows}
+    # Validity: every bound is above the reference (non-negative gap).
+    assert all(g >= -1e-6 for g in gaps.values())
+    # LP is the tightest; the uniform Dantzig aggregation is the loosest.
+    assert gaps["LP"] <= gaps["surrogate"] + 1e-9
+    assert gaps["LP"] <= gaps["Lagrangian"] + 1e-9
+    assert gaps["Dantzig-uniform"] >= gaps["surrogate"]

@@ -1,0 +1,66 @@
+"""E2 — extension workload: the Chu–Beasley grid (post-paper benchmark).
+
+The paper predates Chu & Beasley's 1998 OR-Library suite, which became the
+standard MKP benchmark.  This bench runs CTS2 over a stratified sample of
+our CB-layout reconstruction (one instance per (m, r) stratum at n=100)
+and reports LP-relative deviations — demonstrating the method generalizes
+beyond its own 1997 test bed and mapping how tightness and constraint
+count drive difficulty.
+
+Expected shape: deviation grows with m (more constraints = harder) and
+shrinks with r (looser capacity = easier), the canonical CB difficulty
+surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import deviation_percent, render_generic
+from repro.exact import solve_lp_relaxation
+from repro.instances import cb_instance
+from repro.instances.chu_beasley import CB_MS, CB_RS
+
+from common import publish, scaled
+
+N = 100
+EVALS = 60_000
+
+
+def run_grid():
+    rows = []
+    by_m: dict[int, list[float]] = {m: [] for m in CB_MS}
+    by_r: dict[float, list[float]] = {r: [] for r in CB_RS}
+    from repro.variants import solve_cts2
+
+    for m in CB_MS:
+        for r in CB_RS:
+            inst = cb_instance(m, N, r, 0)
+            lp = solve_lp_relaxation(inst)
+            result = solve_cts2(
+                inst, n_slaves=8, n_rounds=6, rng_seed=0,
+                max_evaluations=scaled(EVALS),
+            )
+            dev = deviation_percent(result.best.value, lp.value)
+            by_m[m].append(dev)
+            by_r[r].append(dev)
+            rows.append([f"m={m}", f"r={r}", round(result.best.value), round(dev, 3)])
+    return rows, by_m, by_r
+
+
+@pytest.mark.benchmark(group="extension")
+def test_cb_extension(benchmark, capsys):
+    rows, by_m, by_r = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    body = render_generic(["m", "tightness", "CTS2 best", "dev vs LP %"], rows)
+    publish(
+        "cb_extension",
+        "E2 — Chu–Beasley grid sample (n=100), CTS2 deviations vs LP",
+        body,
+        capsys,
+    )
+
+    mean = lambda xs: sum(xs) / len(xs)
+    # Difficulty grows with the number of constraints...
+    assert mean(by_m[30]) > mean(by_m[5])
+    # ... and shrinks as capacities loosen.
+    assert mean(by_r[0.25]) > mean(by_r[0.75])

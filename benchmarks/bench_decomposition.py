@@ -1,0 +1,73 @@
+"""A11 — problem decomposition (source 3) vs cooperative threads (source 4).
+
+§2 mentions Taillard's decomposition parallelism as an alternative; the
+paper instead cooperates over the *full* problem.  This bench compares
+them at equal per-processor budgets across the MK suite.
+
+Expected shape: CTS2 beats the decomposition on aggregate — splitting
+capacities proportionally across item blocks loses the cross-block
+trades an optimal packing exploits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_generic
+from repro.instances import mk_suite
+from repro.variants import solve_cts2, solve_decomposition
+
+from common import publish, scaled
+
+SEEDS = (0, 1)
+EVALS = 40_000
+N = 4
+
+
+def run_comparison():
+    rows = []
+    dec_total = 0.0
+    cts_total = 0.0
+    for inst in mk_suite():
+        dec_vals = []
+        cts_vals = []
+        for seed in SEEDS:
+            dec = solve_decomposition(
+                inst, n_blocks=N, rng_seed=seed, max_evaluations=scaled(EVALS)
+            )
+            cts = solve_cts2(
+                inst, n_slaves=N, n_rounds=6, rng_seed=seed,
+                max_evaluations=scaled(EVALS),
+            )
+            dec_vals.append(dec.best.value)
+            cts_vals.append(cts.best.value)
+        dec_mean = sum(dec_vals) / len(dec_vals)
+        cts_mean = sum(cts_vals) / len(cts_vals)
+        dec_total += dec_mean
+        cts_total += cts_mean
+        rows.append(
+            [
+                inst.name,
+                round(dec_mean),
+                round(cts_mean),
+                f"{100 * (cts_mean - dec_mean) / dec_mean:+.2f}%",
+            ]
+        )
+    return rows, dec_total, cts_total
+
+
+@pytest.mark.benchmark(group="extension")
+def test_decomposition_vs_cooperative(benchmark, capsys):
+    rows, dec_total, cts_total = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    body = render_generic(
+        ["problem", "decomposition", "CTS2", "CTS2 advantage"], rows
+    )
+    publish(
+        "decomposition",
+        "A11 — decomposition (source 3) vs cooperative threads (source 4)",
+        body,
+        capsys,
+    )
+    assert cts_total >= dec_total, "cooperative search must win on aggregate"

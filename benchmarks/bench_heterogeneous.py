@@ -1,0 +1,113 @@
+"""A12 — load balancing on a heterogeneous farm (beyond the paper).
+
+§4.2's ``Nb_it ∝ 1/Nb_drop`` rule equalizes *algorithmic work* per slave.
+On the paper's farm of identical Alphas that is (approximately) equal
+*time*; on a heterogeneous farm it is not — the rule knows nothing about
+node speeds.  This extension experiment quantifies the degradation and
+compares against the asynchronous scheme, which needs no balancing at all.
+
+Setup: an 8-node farm where half the nodes run at 1.0× and half at 0.5×
+speed (a realistic mixed-generation cluster).  Same structural CTS2 runs
+as experiment A8, plus CTS-async on the same hardware.
+
+Expected shape: synchronous barrier idle grows markedly versus the
+homogeneous farm; the asynchronous scheme's idle stays zero and its
+makespan is shorter at equal total work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import load_balance, render_generic
+from repro.core import StrategyBounds, TabuSearchConfig
+from repro.farm import CrossbarModel, FarmModel, ProcessorModel
+from repro.instances import mk_suite
+from repro.master import MasterConfig
+from repro.variants import solve_cts2, solve_cts_async
+
+from common import publish, scaled
+
+N_SLAVES = 8
+SEEDS = (0, 1)
+BASE_ITERATIONS = 48
+
+HOMOGENEOUS = FarmModel(n_processors=N_SLAVES + 1)
+#: half fast, half slow nodes; the master (last rank) is fast.
+HETEROGENEOUS = FarmModel(
+    n_processors=N_SLAVES + 1,
+    processor=ProcessorModel(),
+    network=CrossbarModel(),
+    speed_factors=tuple([1.0, 0.5] * ((N_SLAVES + 1) // 2) + [1.0]),
+)
+
+
+def run_sync(inst, farm, seed):
+    bounds = StrategyBounds(base_iterations=scaled(BASE_ITERATIONS))
+    config = MasterConfig(
+        n_slaves=N_SLAVES,
+        n_rounds=4,
+        bounds=bounds,
+        ts_config=TabuSearchConfig(nb_div=1, bounds=bounds),
+    )
+    return solve_cts2(
+        inst, rng_seed=seed, max_evaluations=10**9, master_config=config, farm=farm
+    )
+
+
+def run_comparison():
+    inst = mk_suite()[2]  # MK3
+    rows = []
+    idle = {}
+    for label, farm in (("homogeneous", HOMOGENEOUS), ("heterogeneous", HETEROGENEOUS)):
+        ratios = []
+        makespans = []
+        for seed in SEEDS:
+            result = run_sync(inst, farm, seed)
+            ratios.append(load_balance(result.trace).idle_ratio)
+            makespans.append(result.virtual_seconds)
+        idle[label] = sum(ratios) / len(ratios)
+        rows.append(
+            [
+                f"CTS2 sync, {label}",
+                f"{100 * idle[label]:.2f}%",
+                round(sum(makespans) / len(makespans), 4),
+            ]
+        )
+    # Async on the heterogeneous farm: no barrier to suffer from.
+    async_ratios = []
+    async_makespans = []
+    for seed in SEEDS:
+        result = solve_cts_async(
+            inst,
+            n_threads=N_SLAVES,
+            rng_seed=seed,
+            max_evaluations=scaled(40_000),
+            farm=HETEROGENEOUS,
+        )
+        async_ratios.append(load_balance(result.trace).idle_ratio)
+        async_makespans.append(result.virtual_seconds)
+    rows.append(
+        [
+            "CTS-async, heterogeneous",
+            f"{100 * sum(async_ratios) / len(async_ratios):.2f}%",
+            round(sum(async_makespans) / len(async_makespans), 4),
+        ]
+    )
+    return rows, idle
+
+
+@pytest.mark.benchmark(group="extension")
+def test_heterogeneous_farm(benchmark, capsys):
+    rows, idle = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    body = render_generic(["configuration", "mean barrier idle", "mean makespan (s)"], rows)
+    publish(
+        "heterogeneous",
+        "A12 — load balance on a heterogeneous farm (extension)",
+        body,
+        capsys,
+    )
+    # Speed skew the balancing rule cannot see must increase barrier idling.
+    assert idle["heterogeneous"] > idle["homogeneous"]
+    # The asynchronous scheme has no barrier at all.
+    assert rows[-1][1] == "0.00%"

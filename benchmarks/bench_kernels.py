@@ -1,0 +1,87 @@
+"""Micro-benchmarks guarding the vectorized hot-path kernels.
+
+The hpc-parallel guides' discipline: no optimization without measurement.
+These are conventional pytest-benchmark timings (many rounds) for the
+kernels everything else's throughput depends on:
+
+* incremental add/drop (must stay O(m)),
+* the vectorized fitting-items scan (one broadcast over free columns),
+* one full compound move,
+* message serialization (the farm's byte-cost model input).
+
+Regressions here silently inflate every experiment's wall time, so they
+get first-class benchmarks rather than ad-hoc %timeit runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MoveEngine, SearchState, TabuList, greedy_solution
+from repro.instances import mk_suite
+from repro.parallel import payload_nbytes
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    return mk_suite()[4]  # 25x500
+
+
+@pytest.fixture()
+def big_state(big_instance):
+    return SearchState.from_solution(big_instance, greedy_solution(big_instance))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_incremental_flip(benchmark, big_state):
+    j = int(big_state.packed_items()[0])
+
+    def flip_twice():
+        big_state.drop(j)
+        big_state.add(j)
+
+    benchmark(flip_twice)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_fitting_items(benchmark, big_state):
+    result = benchmark(big_state.fitting_items)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_compound_move(benchmark, big_instance):
+    state = SearchState.from_solution(big_instance, greedy_solution(big_instance))
+    tabu = TabuList(big_instance.n_items, 10)
+    engine = MoveEngine(state, tabu, np.random.default_rng(0))
+    best = state.value
+
+    def one_move():
+        nonlocal best
+        record = engine.apply(2, best)
+        best = max(best, state.value)
+        tabu.tick()
+        if record.touched:
+            tabu.make_tabu(np.asarray(record.touched))
+
+    benchmark(one_move)
+    assert state.is_feasible
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_objective_recompute_reference(benchmark, big_instance, big_state):
+    """The O(mn) from-scratch evaluation the incremental path avoids —
+    kept as the comparison point for the speedup the guides call for."""
+
+    def recompute():
+        return big_instance.weights @ big_state.x.astype(np.float64)
+
+    benchmark(recompute)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_payload_serialization(benchmark, big_state):
+    solution = big_state.snapshot()
+    nbytes = benchmark(payload_nbytes, solution)
+    assert nbytes > 0

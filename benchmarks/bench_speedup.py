@@ -1,0 +1,111 @@
+"""A5 — scaling: solution quality and time-to-target versus P.
+
+The paper's motivation (§1): parallel processing should "reduce the
+execution time" and "improve the quality of the final solution".  Two
+measurements on the simulated farm:
+
+1. quality at a fixed per-processor budget, P ∈ {1, 2, 4, 8, 16} — more
+   slaves explore more, so quality is non-decreasing (up to seed noise);
+2. virtual time until a fixed target value is reached (time-to-target) —
+   more slaves hit the target sooner, the classic speedup curve for
+   parallel metaheuristics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_generic
+from repro.instances import mk_suite
+from repro.variants import solve_cts2, solve_seq
+
+from common import publish, scaled
+
+PS = (1, 2, 4, 8, 16)
+SEEDS = (0, 1, 2)
+EVALS = 40_000
+ROUNDS = 6
+
+
+def run_scaling():
+    inst = mk_suite()[2]  # MK3: 25x300
+    # --- pass 1: quality at fixed per-processor budget -------------------
+    quality_rows = []
+    per_p_values: dict[int, float] = {}
+    for p in PS:
+        values = []
+        for seed in SEEDS:
+            if p == 1:
+                r = solve_seq(inst, rng_seed=seed, max_evaluations=scaled(EVALS))
+            else:
+                r = solve_cts2(
+                    inst,
+                    n_slaves=p,
+                    n_rounds=ROUNDS,
+                    rng_seed=seed,
+                    max_evaluations=scaled(EVALS),
+                )
+            values.append(r.best.value)
+        mean_value = sum(values) / len(values)
+        per_p_values[p] = mean_value
+        quality_rows.append([p, round(mean_value), round(max(values))])
+
+    # --- pass 2: time-to-target ------------------------------------------
+    # Target: what a single processor reaches with the full budget — the
+    # speedup question is how much faster P processors get there.
+    target = per_p_values[1]
+    ttt_rows = []
+    base_time = None
+    for p in PS:
+        times = []
+        for seed in SEEDS:
+            if p == 1:
+                r = solve_seq(
+                    inst,
+                    rng_seed=seed,
+                    max_evaluations=scaled(EVALS) * 4,
+                    target_value=target,
+                )
+            else:
+                # More, shorter rounds: the time-to-target resolution is
+                # one round slice (the barrier is the synchronous scheme's
+                # detection granularity).
+                r = solve_cts2(
+                    inst,
+                    n_slaves=p,
+                    n_rounds=ROUNDS * 4,
+                    rng_seed=seed,
+                    max_evaluations=scaled(EVALS) * 4,
+                    target_value=target,
+                )
+            times.append(r.virtual_seconds if r.best.value >= target else float("inf"))
+        finite = [t for t in times if t != float("inf")]
+        mean_time = sum(finite) / len(finite) if finite else float("inf")
+        if p == 1:
+            base_time = mean_time
+        speed = base_time / mean_time if mean_time and mean_time != float("inf") else 0.0
+        ttt_rows.append(
+            [p, round(mean_time, 4), f"{speed:.2f}x", f"{len(finite)}/{len(SEEDS)}"]
+        )
+    return quality_rows, ttt_rows, per_p_values
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_speedup(benchmark, capsys):
+    quality_rows, ttt_rows, per_p = benchmark.pedantic(
+        run_scaling, rounds=1, iterations=1
+    )
+    body = (
+        "Quality at fixed per-processor budget:\n"
+        + render_generic(["P", "mean best", "max best"], quality_rows)
+        + "\n\nTime to the P=1 quality target:\n"
+        + render_generic(["P", "mean vtime(s)", "speedup", "hit rate"], ttt_rows)
+    )
+    publish("speedup", "A5 — quality and time-to-target vs P (MK3, CTS2)", body, capsys)
+
+    # Quality: the full farm must beat the single processor.
+    assert per_p[16] >= per_p[1]
+    # Time-to-target: P=16 reaches the P=1 target faster than P=1 did.
+    t1 = float(ttt_rows[0][1])
+    t16 = float(ttt_rows[-1][1])
+    assert t16 < t1

@@ -1,0 +1,110 @@
+"""T2 — Table 2: SEQ vs ITS vs CTS1 vs CTS2 at a fixed execution time.
+
+Paper's table: best cost found by the four approaches on MK1–MK5 for a
+fixed execution time; CTS2 (communication + dynamic strategy setting)
+dominates, CTS1 > ITS > SEQ on average.
+
+Our reproduction: each approach receives the same per-processor virtual
+time on the simulated farm (so the parallel variants do P× the total work,
+exactly the paper's regime).  Values are averaged over three seeds to damp
+single-run noise; the future-work asynchronous variant is reported as an
+extra column.
+
+Expected shape: CTS2 >= CTS1 >= ITS >= SEQ in aggregate, with the
+cooperative variants winning on most rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table2Row, render_table2
+from repro.instances import mk_suite
+from repro.variants import solve_cts1, solve_cts2, solve_cts_async, solve_its, solve_seq
+
+from common import publish, scaled
+
+N_SLAVES = 8
+ROUNDS = 8
+SEEDS = (0, 1, 2)
+#: Per-processor budget. Chosen on the steep part of the anytime curve —
+#: "for a fixed execution time" in the paper's sense: approaches are cut
+#: off while still climbing, so climb *rate* (what cooperation buys)
+#: separates them. At saturating budgets all parallel variants converge to
+#: the same plateau and differences vanish (see EXPERIMENTS.md).
+EVALS_PER_PROC = 40_000
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def run_table2() -> list[Table2Row]:
+    rows = []
+    budget = scaled(EVALS_PER_PROC)
+    for inst in mk_suite():
+        per_variant: dict[str, list[float]] = {
+            "SEQ": [], "ITS": [], "CTS1": [], "CTS2": [], "CTS-async": []
+        }
+        exec_time = 0.0
+        for seed in SEEDS:
+            seq = solve_seq(inst, rng_seed=seed, max_evaluations=budget)
+            its = solve_its(
+                inst, n_slaves=N_SLAVES, n_rounds=ROUNDS, rng_seed=seed,
+                max_evaluations=budget,
+            )
+            cts1 = solve_cts1(
+                inst, n_slaves=N_SLAVES, n_rounds=ROUNDS, rng_seed=seed,
+                max_evaluations=budget,
+            )
+            cts2 = solve_cts2(
+                inst, n_slaves=N_SLAVES, n_rounds=ROUNDS, rng_seed=seed,
+                max_evaluations=budget,
+            )
+            casync = solve_cts_async(
+                inst, n_threads=N_SLAVES, rng_seed=seed, max_evaluations=budget
+            )
+            per_variant["SEQ"].append(seq.best.value)
+            per_variant["ITS"].append(its.best.value)
+            per_variant["CTS1"].append(cts1.best.value)
+            per_variant["CTS2"].append(cts2.best.value)
+            per_variant["CTS-async"].append(casync.best.value)
+            exec_time = max(exec_time, cts2.virtual_seconds)
+        rows.append(
+            Table2Row(
+                problem=inst.name,
+                seq=mean(per_variant["SEQ"]),
+                its=mean(per_variant["ITS"]),
+                cts1=mean(per_variant["CTS1"]),
+                cts2=mean(per_variant["CTS2"]),
+                exec_time=exec_time,
+                extras={"CTS-async": mean(per_variant["CTS-async"])},
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_variants(benchmark, capsys):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    body = render_table2(rows)
+    publish(
+        "table2_variants",
+        f"Table 2 — SEQ/ITS/CTS1/CTS2 on MK1–MK5 (P={N_SLAVES}, mean of {len(SEEDS)} seeds)",
+        body,
+        capsys,
+    )
+
+    # Shape assertions: cooperation dominates in aggregate (the paper's
+    # headline), and every parallel variant beats SEQ in aggregate.
+    total = {
+        "SEQ": sum(r.seq for r in rows),
+        "ITS": sum(r.its for r in rows),
+        "CTS1": sum(r.cts1 for r in rows),
+        "CTS2": sum(r.cts2 for r in rows),
+    }
+    assert total["ITS"] >= total["SEQ"]
+    assert total["CTS1"] >= total["SEQ"]
+    assert total["CTS2"] >= total["SEQ"]
+    # CTS2 wins or ties the aggregate against the non-adaptive variants.
+    assert total["CTS2"] >= max(total["ITS"], total["CTS1"]) - 0.001 * total["CTS2"]

@@ -1,0 +1,13 @@
+"""Pytest path setup for the benchmark harness.
+
+Benches import shared helpers via ``from common import ...``; adding this
+directory to ``sys.path`` makes that import work regardless of the
+invocation directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

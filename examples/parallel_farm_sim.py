@@ -1,0 +1,79 @@
+"""Simulated 16-Alpha farm: load balance, speedup, and sync vs async.
+
+Demonstrates the hardware substrate of the reproduction (DESIGN.md §3):
+
+1. runs CTS2 on the simulated farm and prints each processor's busy /
+   barrier-idle breakdown — showing why the paper sets ``Nb_it ∝ 1/Nb_drop``;
+2. sweeps the number of slaves P ∈ {1, 2, 4, 8, 16} at a fixed per-processor
+   budget and reports quality (the paper's reason to parallelize);
+3. compares the synchronous master–slave scheme against the future-work
+   asynchronous decentralized scheme at equal budgets.
+
+Run:  python examples/parallel_farm_sim.py
+"""
+
+from __future__ import annotations
+
+from repro import correlated_instance
+from repro.analysis import load_balance, render_generic
+from repro.variants import solve_cts2, solve_cts_async
+
+BUDGET_SECONDS = 1.0
+
+
+def main() -> None:
+    instance = correlated_instance(15, 250, rng=55, name="farm-demo")
+    print(f"instance: {instance}")
+    print(f"per-processor budget: {BUDGET_SECONDS} simulated seconds\n")
+
+    # --- 1. per-processor utilisation under the synchronous scheme -------
+    result = solve_cts2(
+        instance, n_slaves=8, n_rounds=6, rng_seed=0, virtual_seconds=BUDGET_SECONDS
+    )
+    lb = load_balance(result.trace)
+    print("— synchronous CTS2, 8 slaves —")
+    print(f"best value: {result.best.value:,.0f}; makespan "
+          f"{result.virtual_seconds:.3f}s; bytes on the crossbar: "
+          f"{result.bytes_sent:,}")
+    print(f"barrier idle ratio: {100 * lb.idle_ratio:.2f}%  "
+          f"(compute {lb.compute_seconds:.2f}s, idle {lb.idle_seconds:.3f}s); "
+          f"imbalance (max/mean): {lb.imbalance:.3f}")
+
+    # --- 2. quality vs P ---------------------------------------------------
+    rows = []
+    for p in (1, 2, 4, 8, 16):
+        r = solve_cts2(
+            instance,
+            n_slaves=p,
+            n_rounds=6,
+            rng_seed=0,
+            virtual_seconds=BUDGET_SECONDS,
+        )
+        rows.append([p, f"{r.best.value:,.0f}", r.total_evaluations,
+                     round(r.virtual_seconds, 3)])
+    print("\n— quality vs number of slaves (equal per-processor time) —")
+    print(render_generic(["P", "best value", "evaluations", "makespan(s)"], rows))
+
+    # --- 3. synchronous vs asynchronous ------------------------------------
+    async_result = solve_cts_async(
+        instance, n_threads=8, rng_seed=0, virtual_seconds=BUDGET_SECONDS
+    )
+    async_lb = load_balance(async_result.trace)
+    print("\n— future-work extension: decentralized asynchronous scheme —")
+    print(render_generic(
+        ["scheme", "best value", "idle ratio %", "makespan(s)"],
+        [
+            ["CTS2 (sync)", f"{result.best.value:,.0f}",
+             round(100 * lb.idle_ratio, 2), round(result.virtual_seconds, 3)],
+            ["CTS-async", f"{async_result.best.value:,.0f}",
+             round(100 * async_lb.idle_ratio, 2),
+             round(async_result.virtual_seconds, 3)],
+        ],
+    ))
+    print("\nno barrier => the asynchronous scheme shows zero idle time; "
+          "quality is comparable at equal budgets (experiment A6 quantifies "
+          "this across the MK suite).")
+
+
+if __name__ == "__main__":
+    main()

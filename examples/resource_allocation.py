@@ -1,0 +1,82 @@
+"""Resource allocation — the paper's second motivating application (§1).
+
+A cluster operator must admit a subset of jobs onto a machine with several
+scarce resources (CPU, memory, network, disk, licenses).  Each admitted job
+yields revenue; each consumes a slice of every resource.  Maximizing
+revenue subject to the capacity vector is a 0–1 MKP with one constraint
+per resource.
+
+The example compares all four approaches of Table 2 (SEQ / ITS / CTS1 /
+CTS2) at an equal simulated-time budget, reproducing the paper's
+comparison on a domain-shaped instance.
+
+Run:  python examples/resource_allocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MKPInstance
+from repro.analysis import Table2Row, render_table2
+from repro.variants import solve_cts1, solve_cts2, solve_its, solve_seq
+
+RESOURCES = ["cpu-cores", "memory-gb", "network-gbps", "disk-iops", "licenses"]
+
+
+def build_cluster_workload(n_jobs: int, rng: np.random.Generator) -> MKPInstance:
+    """Jobs with heterogeneous resource shapes.
+
+    A third of jobs are CPU-heavy, a third memory-heavy, a third balanced;
+    revenue correlates with total footprint (big jobs pay more) — the
+    correlated regime where naive greedy admission underperforms.
+    """
+    m = len(RESOURCES)
+    shapes = rng.dirichlet(np.ones(m), size=n_jobs)  # resource mix per job
+    magnitude = rng.lognormal(mean=3.0, sigma=0.6, size=n_jobs)
+    demand = (shapes * magnitude[:, None]).T + 0.5  # (m, n), strictly positive
+    revenue = magnitude * rng.uniform(0.9, 1.4, size=n_jobs)
+    capacity = demand.sum(axis=1) * 0.25  # admit ~a quarter of total demand
+    return MKPInstance(
+        weights=demand,
+        capacities=capacity,
+        profits=revenue,
+        name=f"cluster-{m}x{n_jobs}",
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    instance = build_cluster_workload(200, rng)
+    print(f"workload: {instance.n_items} jobs, resources: {', '.join(RESOURCES)}")
+
+    budget_seconds = 1.5  # equal simulated time for every approach
+    common = dict(rng_seed=0, virtual_seconds=budget_seconds)
+    seq = solve_seq(instance, **common)
+    its = solve_its(instance, n_slaves=8, n_rounds=5, **common)
+    cts1 = solve_cts1(instance, n_slaves=8, n_rounds=5, **common)
+    cts2 = solve_cts2(instance, n_slaves=8, n_rounds=5, **common)
+
+    row = Table2Row(
+        problem=instance.name,
+        seq=seq.best.value,
+        its=its.best.value,
+        cts1=cts1.best.value,
+        cts2=cts2.best.value,
+        exec_time=budget_seconds,
+    )
+    print()
+    print(render_table2([row]))
+    print(f"\nwinner: {row.winner()}")
+
+    best = max([seq, its, cts1, cts2], key=lambda r: r.best.value)
+    admitted = best.best.items
+    print(f"\nbest schedule admits {admitted.size}/{instance.n_items} jobs "
+          f"(revenue {best.best.value:,.0f})")
+    used = instance.weights[:, admitted].sum(axis=1)
+    for name, u, cap in zip(RESOURCES, used, instance.capacities):
+        print(f"  {name:>13}: {100 * u / cap:5.1f}% utilized")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Packaging metadata lives in ``setup.cfg`` (see the note there): the classic
+``setup.py`` + ``setup.cfg`` path installs on fully offline hosts where
+pip's PEP-517 build isolation cannot download its build requirements.
+"""
+
+from setuptools import setup
+
+setup()

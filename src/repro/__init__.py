@@ -1,0 +1,66 @@
+"""repro — parallel cooperative tabu search for the 0–1 MKP.
+
+A production-quality reproduction of *Niar & Fréville, "A Parallel Tabu
+Search Algorithm For The 0-1 Multidimensional Knapsack Problem"* (IPPS
+1997).  See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md``
+for the paper-versus-measured record.
+
+Quickstart
+----------
+>>> from repro import correlated_instance, solve_cts2
+>>> inst = correlated_instance(5, 100, rng=7)
+>>> result = solve_cts2(inst, n_slaves=4, rng_seed=0, max_evaluations=200_000)
+>>> result.best.value > 0
+True
+"""
+
+from ._version import __version__
+from .core import (
+    Budget,
+    IntensificationKind,
+    MKPInstance,
+    SearchState,
+    Solution,
+    Strategy,
+    StrategyBounds,
+    TabuSearch,
+    TabuSearchConfig,
+    TSResult,
+    greedy_solution,
+    hamming_distance,
+    random_solution,
+)
+from .instances.generators import correlated_instance, uncorrelated_instance
+from .variants import (
+    ParallelRunResult,
+    solve_cts1,
+    solve_cts2,
+    solve_cts_async,
+    solve_its,
+    solve_seq,
+)
+
+__all__ = [
+    "__version__",
+    "MKPInstance",
+    "Solution",
+    "SearchState",
+    "Strategy",
+    "StrategyBounds",
+    "TabuSearch",
+    "TabuSearchConfig",
+    "TSResult",
+    "Budget",
+    "IntensificationKind",
+    "greedy_solution",
+    "random_solution",
+    "hamming_distance",
+    "correlated_instance",
+    "uncorrelated_instance",
+    "ParallelRunResult",
+    "solve_seq",
+    "solve_its",
+    "solve_cts1",
+    "solve_cts2",
+    "solve_cts_async",
+]

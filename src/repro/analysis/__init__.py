@@ -1,0 +1,45 @@
+"""Analysis and reporting: deviations, speedups, curves, tables, records."""
+
+from .convergence import anytime_curve, normalized_auc, time_to_value, value_at
+from .gantt import render_gantt
+from .report import REPORT_ORDER, ReportSection, assemble_report
+from .serialize import load_result, result_from_dict, result_to_dict, save_result
+from .stats import (
+    LoadBalance,
+    deviation_percent,
+    efficiency,
+    load_balance,
+    speedup,
+)
+from .tables import (
+    Table1Row,
+    Table2Row,
+    render_generic,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "deviation_percent",
+    "speedup",
+    "efficiency",
+    "load_balance",
+    "LoadBalance",
+    "Table1Row",
+    "Table2Row",
+    "render_table1",
+    "render_table2",
+    "render_generic",
+    "anytime_curve",
+    "value_at",
+    "normalized_auc",
+    "time_to_value",
+    "render_gantt",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+    "assemble_report",
+    "ReportSection",
+    "REPORT_ORDER",
+]

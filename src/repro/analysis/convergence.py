@@ -1,0 +1,88 @@
+"""Anytime-behaviour analysis: convergence curves and their summaries.
+
+"For a fixed execution time" comparisons (Table 2) are single points on
+the anytime curve; these helpers characterize the whole curve so the
+benches can report *where* a variant wins, not just whether:
+
+* :func:`anytime_curve` — (virtual time, best value) steps of a run;
+* :func:`value_at` — curve lookup at an arbitrary time;
+* :func:`normalized_auc` — area under the curve relative to a reference
+  value, in [0, 1]: higher = climbs earlier;
+* :func:`time_to_value` — first virtual time the curve reaches a level.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..master.result import ParallelRunResult
+
+__all__ = ["anytime_curve", "value_at", "normalized_auc", "time_to_value"]
+
+
+def anytime_curve(result: ParallelRunResult) -> list[tuple[float, float]]:
+    """Step curve ``[(t_i, best_i)]`` at round granularity.
+
+    The first point is at t=0 with the initial best (first entry of
+    ``value_history`` when available, else the first round's best).
+    """
+    points: list[tuple[float, float]] = []
+    initial = (
+        result.value_history[0]
+        if result.value_history
+        else (result.rounds[0].best_value if result.rounds else result.best.value)
+    )
+    points.append((0.0, initial))
+    elapsed = 0.0
+    best = initial
+    for stats in result.rounds:
+        elapsed += stats.round_virtual_seconds
+        best = max(best, stats.best_value)
+        points.append((elapsed, best))
+    return points
+
+
+def value_at(curve: list[tuple[float, float]], t: float) -> float:
+    """Best value known at time ``t`` (step interpolation)."""
+    if not curve:
+        raise ValueError("empty curve")
+    times = [p[0] for p in curve]
+    idx = bisect_right(times, t) - 1
+    if idx < 0:
+        return curve[0][1]
+    return curve[idx][1]
+
+
+def normalized_auc(
+    curve: list[tuple[float, float]], reference: float, horizon: float | None = None
+) -> float:
+    """Area under the (value / reference) step curve over ``[0, horizon]``.
+
+    1.0 means the reference value was held from t=0; values closer to 1
+    mean faster convergence.  ``horizon`` defaults to the curve's end.
+    """
+    if not curve:
+        raise ValueError("empty curve")
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    end = horizon if horizon is not None else curve[-1][0]
+    if end <= 0:
+        return min(1.0, curve[0][1] / reference)
+    area = 0.0
+    for (t0, v0), (t1, _v1) in zip(curve, curve[1:]):
+        lo, hi = min(t0, end), min(t1, end)
+        if hi > lo:
+            area += (hi - lo) * v0
+    # Tail: the final value holds until the horizon.
+    last_t, last_v = curve[-1]
+    if end > last_t:
+        area += (end - last_t) * last_v
+    return min(1.0, area / (end * reference))
+
+
+def time_to_value(curve: list[tuple[float, float]], level: float) -> float | None:
+    """First time the curve reaches ``level``; ``None`` if it never does."""
+    for t, v in curve:
+        if v >= level:
+            return t
+    return None

@@ -1,0 +1,70 @@
+"""ASCII Gantt rendering of simulated-farm traces.
+
+Dependency-free visualization of who computed, waited and communicated
+when — the picture behind the load-balance experiment.  One line per
+processor, time binned into fixed-width columns::
+
+    proc  0 |████████████░▒▒░████████|
+    proc  1 |██████░░░░░░░▒▒░██████░░|
+             █ compute  ░ barrier-idle  ▒ comm
+
+Bins are labelled by majority occupancy; empty bins render as spaces.
+"""
+
+from __future__ import annotations
+
+from ..farm.trace import EventKind, FarmTrace
+
+__all__ = ["render_gantt"]
+
+_GLYPHS = {
+    EventKind.COMPUTE: "█",
+    EventKind.BARRIER_WAIT: "░",
+    EventKind.SEND: "▒",
+    EventKind.RECV: "▒",
+}
+
+_LEGEND = "█ compute  ░ barrier-idle  ▒ comm"
+
+
+def render_gantt(trace: FarmTrace, width: int = 64) -> str:
+    """Render ``trace`` as an ASCII timeline.
+
+    ``width`` is the number of time bins.  Returns a multi-line string
+    ending with the legend; an empty trace renders as a note.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not trace.events:
+        return "(empty trace)"
+    t_end = max(e.t_end for e in trace.events)
+    if t_end <= 0:
+        return "(zero-length trace)"
+    procs = sorted({e.proc for e in trace.events})
+    bin_width = t_end / width
+
+    lines = []
+    for proc in procs:
+        # occupancy[bin][kind] = seconds of that kind inside the bin
+        occupancy: list[dict[EventKind, float]] = [dict() for _ in range(width)]
+        for event in trace.events:
+            if event.proc != proc or event.duration == 0:
+                continue
+            first = min(width - 1, int(event.t_start / bin_width))
+            last = min(width - 1, int(max(event.t_start, event.t_end - 1e-15) / bin_width))
+            for b in range(first, last + 1):
+                lo = max(event.t_start, b * bin_width)
+                hi = min(event.t_end, (b + 1) * bin_width)
+                if hi > lo:
+                    occupancy[b][event.kind] = occupancy[b].get(event.kind, 0.0) + (hi - lo)
+        cells = []
+        for filled in occupancy:
+            if not filled:
+                cells.append(" ")
+            else:
+                kind = max(filled, key=lambda k: filled[k])
+                cells.append(_GLYPHS[kind])
+        lines.append(f"proc {proc:>3} |{''.join(cells)}|")
+    lines.append(" " * 9 + _LEGEND)
+    lines.append(f"timeline: 0 .. {t_end:.4f} virtual seconds, {width} bins")
+    return "\n".join(lines)

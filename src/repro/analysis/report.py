@@ -1,0 +1,71 @@
+"""Assemble the benchmark harness's result files into one report.
+
+Every bench writes its paper-style table to ``benchmarks/results/<id>.txt``
+(via ``benchmarks/common.publish``).  :func:`assemble_report` stitches those
+files into a single markdown document ordered by the DESIGN.md experiment
+index — the mechanical half of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ReportSection", "REPORT_ORDER", "assemble_report"]
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment's slot in the assembled report."""
+
+    result_id: str
+    title: str
+
+
+#: Canonical section order (matches DESIGN.md §4's experiment index).
+REPORT_ORDER: tuple[ReportSection, ...] = (
+    ReportSection("table1_gk", "T1 — Table 1: Glover–Kochenberger suite"),
+    ReportSection("table2_variants", "T2 — Table 2: SEQ/ITS/CTS1/CTS2 on MK1–MK5"),
+    ReportSection("fp57", "E1 — Fréville–Plateau: optimum reached"),
+    ReportSection("ablation_tenure", "A1 — tabu tenure sweep"),
+    ReportSection("ablation_nbdrop", "A2 — Nb_drop vs step size"),
+    ReportSection("ablation_alpha", "A3 — ISP alpha sweep"),
+    ReportSection("ablation_intensify", "A4 — intensification modes"),
+    ReportSection("speedup", "A5 — scaling vs P"),
+    ReportSection("async_vs_sync", "A6 — synchronous vs asynchronous"),
+    ReportSection("baselines", "A7 — baseline panel"),
+    ReportSection("load_balance", "A8 — load balancing"),
+    ReportSection("ablation_sgp", "A9 — SGP recovery"),
+    ReportSection("granularity", "A10 — parallelism granularity"),
+    ReportSection("decomposition", "A11 — decomposition vs cooperation"),
+    ReportSection("heterogeneous", "A12 — heterogeneous farm"),
+    ReportSection("cb_extension", "E2 — Chu–Beasley extension workload"),
+    ReportSection("bounds", "B1 — bound panel"),
+)
+
+
+def assemble_report(
+    results_dir: str | Path,
+    *,
+    title: str = "Benchmark results",
+    missing_note: str = "(not yet generated — run its bench)",
+) -> str:
+    """Return a markdown report of every known section.
+
+    Sections whose result file is absent are listed with ``missing_note``
+    so a partial harness run still yields a complete, honest document.
+    """
+    results_dir = Path(results_dir)
+    lines = [f"# {title}", ""]
+    for section in REPORT_ORDER:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        path = results_dir / f"{section.result_id}.txt"
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text(encoding="utf-8").rstrip())
+            lines.append("```")
+        else:
+            lines.append(missing_note)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""JSON (de)serialization of run results — the experiment record format.
+
+A :class:`~repro.master.result.ParallelRunResult` is the unit of record for
+every experiment in the benchmark harness; persisting it lets tables be
+re-rendered and runs be compared without re-searching.  The format is plain
+JSON (no pickle): solutions are stored as packed item-index lists, traces as
+event tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.solution import Solution
+from ..farm.trace import EventKind, FarmTrace
+from ..master.result import ParallelRunResult, RoundStats
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+FORMAT_VERSION = 1
+
+
+def _solution_to_dict(solution: Solution, n_items: int) -> dict:
+    return {
+        "n_items": n_items,
+        "items": solution.items.tolist(),
+        "value": solution.value,
+    }
+
+
+def _solution_from_dict(data: dict) -> Solution:
+    x = np.zeros(int(data["n_items"]), dtype=np.int8)
+    x[np.asarray(data["items"], dtype=np.intp)] = 1
+    return Solution(x, float(data["value"]))
+
+
+def result_to_dict(result: ParallelRunResult) -> dict:
+    """Convert a run result to a JSON-serializable dict."""
+    trace_events = None
+    if result.trace is not None:
+        trace_events = [
+            [e.proc, e.kind.value, e.t_start, e.t_end, e.label]
+            for e in result.trace.events
+        ]
+    return {
+        "format_version": FORMAT_VERSION,
+        "variant": result.variant,
+        "best": _solution_to_dict(result.best, result.best.n_items),
+        "rounds": [
+            {
+                "round_index": s.round_index,
+                "best_value": s.best_value,
+                "round_virtual_seconds": s.round_virtual_seconds,
+                "slave_virtual_seconds": list(s.slave_virtual_seconds),
+                "communication_seconds": s.communication_seconds,
+                "evaluations": s.evaluations,
+                "improved_slaves": s.improved_slaves,
+                "isp_rules": dict(s.isp_rules),
+                "sgp_actions": dict(s.sgp_actions),
+            }
+            for s in result.rounds
+        ],
+        "total_evaluations": result.total_evaluations,
+        "virtual_seconds": result.virtual_seconds,
+        "wall_seconds": result.wall_seconds,
+        "n_slaves": result.n_slaves,
+        "bytes_sent": result.bytes_sent,
+        "value_history": list(result.value_history),
+        "trace": trace_events,
+    }
+
+
+def result_from_dict(data: dict) -> ParallelRunResult:
+    """Rebuild a run result from :func:`result_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    trace = None
+    if data.get("trace") is not None:
+        trace = FarmTrace()
+        for proc, kind, t0, t1, label in data["trace"]:
+            trace.record(int(proc), EventKind(kind), float(t0), float(t1), label)
+    rounds = [
+        RoundStats(
+            round_index=int(s["round_index"]),
+            best_value=float(s["best_value"]),
+            round_virtual_seconds=float(s["round_virtual_seconds"]),
+            slave_virtual_seconds=[float(v) for v in s["slave_virtual_seconds"]],
+            communication_seconds=float(s["communication_seconds"]),
+            evaluations=int(s["evaluations"]),
+            improved_slaves=int(s["improved_slaves"]),
+            isp_rules=dict(s.get("isp_rules", {})),
+            sgp_actions=dict(s.get("sgp_actions", {})),
+        )
+        for s in data["rounds"]
+    ]
+    return ParallelRunResult(
+        variant=str(data["variant"]),
+        best=_solution_from_dict(data["best"]),
+        rounds=rounds,
+        total_evaluations=int(data["total_evaluations"]),
+        virtual_seconds=float(data["virtual_seconds"]),
+        wall_seconds=float(data["wall_seconds"]),
+        n_slaves=int(data["n_slaves"]),
+        trace=trace,
+        bytes_sent=int(data["bytes_sent"]),
+        value_history=[float(v) for v in data["value_history"]],
+    )
+
+
+def save_result(result: ParallelRunResult, path: str | Path) -> None:
+    """Write a run result as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2), encoding="utf-8"
+    )
+
+
+def load_result(path: str | Path) -> ParallelRunResult:
+    """Read a run result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

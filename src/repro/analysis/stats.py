@@ -1,0 +1,74 @@
+"""Statistics used by the benchmark tables: deviations, speedups, balance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..farm.trace import EventKind, FarmTrace
+
+__all__ = [
+    "deviation_percent",
+    "speedup",
+    "efficiency",
+    "load_balance",
+    "LoadBalance",
+]
+
+
+def deviation_percent(value: float, reference: float) -> float:
+    """Table 1's "Dev. in %": ``100 · (reference − value) / reference``.
+
+    ``reference`` is the optimum, the best-known value, or an upper bound
+    (LP); in the last case the figure over-states the true deviation by the
+    LP gap, which EXPERIMENTS.md notes per table.
+    """
+    if reference <= 0:
+        raise ValueError(f"reference must be positive; got {reference}")
+    return 100.0 * (reference - value) / reference
+
+
+def speedup(t_sequential: float, t_parallel: float) -> float:
+    """Classic speedup ``T_1 / T_P``."""
+    if t_parallel <= 0:
+        raise ValueError("parallel time must be positive")
+    return t_sequential / t_parallel
+
+
+def efficiency(t_sequential: float, t_parallel: float, p: int) -> float:
+    """Parallel efficiency ``speedup / P``."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return speedup(t_sequential, t_parallel) / p
+
+
+@dataclass(frozen=True)
+class LoadBalance:
+    """Barrier-idleness summary of a farm trace (experiment A8)."""
+
+    idle_seconds: float
+    compute_seconds: float
+    idle_ratio: float
+    per_proc_compute: dict[int, float]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean compute time across processors (1.0 = perfect)."""
+        if not self.per_proc_compute:
+            return 1.0
+        values = np.array(list(self.per_proc_compute.values()))
+        mean = values.mean()
+        return float(values.max() / mean) if mean > 0 else 1.0
+
+
+def load_balance(trace: FarmTrace) -> LoadBalance:
+    """Aggregate a trace into the A8 load-balance metrics."""
+    idle = trace.total_by_kind(EventKind.BARRIER_WAIT)
+    compute = trace.total_by_kind(EventKind.COMPUTE)
+    return LoadBalance(
+        idle_seconds=idle,
+        compute_seconds=compute,
+        idle_ratio=trace.idle_ratio(),
+        per_proc_compute=trace.per_proc_by_kind(EventKind.COMPUTE),
+    )

@@ -1,0 +1,93 @@
+"""Plain-text table renderers matching the paper's Tables 1 and 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table1Row", "render_table1", "Table2Row", "render_table2", "render_generic"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: a GK problem group."""
+
+    group: str
+    size_label: str
+    max_exec_time: float
+    mean_deviation_percent: float
+
+
+def render_table1(rows: list[Table1Row], *, time_unit: str = "vsec") -> str:
+    """Render Table 1: "Computational results for Glover-Kochenberger"."""
+    header = f"{'Prob nbr':>10} {'m*n':>10} {'Max.Exec.Time(' + time_unit + ')':>22} {'Dev. in %':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.group:>10} {row.size_label:>10} "
+            f"{row.max_exec_time:>22.3f} {row.mean_deviation_percent:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2: best cost per approach on one MK problem."""
+
+    problem: str
+    seq: float
+    its: float
+    cts1: float
+    cts2: float
+    exec_time: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def winner(self) -> str:
+        """Name of the best approach on this row (ties go left-to-right)."""
+        values = {"SEQ": self.seq, "ITS": self.its, "CTS1": self.cts1, "CTS2": self.cts2}
+        values.update(self.extras)
+        return max(values, key=lambda k: values[k])
+
+
+def render_table2(rows: list[Table2Row], *, time_unit: str = "vsec") -> str:
+    """Render Table 2: "Comparison of the four approaches"."""
+    extra_names = sorted({name for row in rows for name in row.extras})
+    header_cells = ["Prob", "SEQ", "ITS", "CTS1", "CTS2", *extra_names, f"ExecTime({time_unit})"]
+    header = " ".join(f"{c:>12}" for c in header_cells)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = [
+            f"{row.problem:>12}",
+            f"{row.seq:>12.0f}",
+            f"{row.its:>12.0f}",
+            f"{row.cts1:>12.0f}",
+            f"{row.cts2:>12.0f}",
+        ]
+        cells += [f"{row.extras.get(name, float('nan')):>12.0f}" for name in extra_names]
+        cells.append(f"{row.exec_time:>12.3f}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_generic(
+    headers: list[str], rows: list[list[object]], *, precision: int = 3
+) -> str:
+    """Simple fixed-width table for the ablation benches."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("every row must have one cell per header")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    out += [line(r) for r in str_rows]
+    return "\n".join(out)

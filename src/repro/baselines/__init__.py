@@ -1,0 +1,33 @@
+"""Baseline algorithms the paper discusses or that its lineage compares to.
+
+Every baseline consumes the same :class:`~repro.core.termination.Budget`
+abstraction as the paper's own threads, so experiment A7 compares them at
+strictly equal candidate-evaluation budgets.
+"""
+
+from .critical_event import (
+    CriticalEventConfig,
+    CriticalEventResult,
+    critical_event_tabu_search,
+)
+from .greedy import density_greedy, toyoda_greedy
+from .reactive_tabu import ReactiveConfig, ReactiveResult, reactive_tabu_search
+from .rem_tabu import REMConfig, REMResult, rem_tabu_search
+from .simulated_annealing import SAConfig, SAResult, simulated_annealing
+
+__all__ = [
+    "density_greedy",
+    "toyoda_greedy",
+    "simulated_annealing",
+    "SAConfig",
+    "SAResult",
+    "reactive_tabu_search",
+    "ReactiveConfig",
+    "ReactiveResult",
+    "rem_tabu_search",
+    "REMConfig",
+    "REMResult",
+    "critical_event_tabu_search",
+    "CriticalEventConfig",
+    "CriticalEventResult",
+]

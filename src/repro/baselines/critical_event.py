@@ -1,0 +1,162 @@
+"""Critical-event tabu search (Glover & Kochenberger, 1996).
+
+The paper's reference [6] and the source of its strategic-oscillation
+intensification; implemented as an A7 baseline.
+
+Mechanism: the search *oscillates* across the feasibility boundary in
+alternating constructive and destructive phases.
+
+* **Constructive phase**: add best-ratio non-tabu items, continuing
+  ``span`` steps *past* the last feasible solution (into infeasibility).
+* **Critical event**: the last feasible solution crossed on the way out is
+  recorded — these boundary solutions are the algorithm's candidates, and
+  the best one drives the incumbent.
+* **Destructive phase**: drop worst-ratio non-tabu items until feasible
+  again, then ``span`` more.
+* Recency tabu: an item added (dropped) in phase ``t`` may not be dropped
+  (added) for ``tenure`` phases.  The span is adapted: increased after
+  phases without improvement (explore deeper), reset to 1 on improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.construction import random_solution
+from ..core.instance import MKPInstance
+from ..core.solution import SearchState, Solution
+from ..core.tabu_list import TabuList
+from ..core.termination import Budget
+from ..rng import make_rng
+
+__all__ = ["CriticalEventConfig", "CriticalEventResult", "critical_event_tabu_search"]
+
+
+@dataclass(frozen=True)
+class CriticalEventConfig:
+    tenure: int = 5
+    initial_span: int = 1
+    max_span: int = 6
+    span_increase_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tenure < 0:
+            raise ValueError("tenure must be >= 0")
+        if not 1 <= self.initial_span <= self.max_span:
+            raise ValueError("require 1 <= initial_span <= max_span")
+        if self.span_increase_after < 1:
+            raise ValueError("span_increase_after must be >= 1")
+
+
+@dataclass
+class CriticalEventResult:
+    best: Solution
+    evaluations: int
+    critical_events: int
+    phases: int
+
+
+def critical_event_tabu_search(
+    instance: MKPInstance,
+    budget: Budget,
+    *,
+    rng: int | None | np.random.Generator = None,
+    config: CriticalEventConfig | None = None,
+    x_init: Solution | None = None,
+) -> CriticalEventResult:
+    """Run critical-event TS until the budget is exhausted."""
+    gen = make_rng(rng)
+    config = config or CriticalEventConfig()
+    budget.start()
+    if x_init is None:
+        x_init = random_solution(instance, gen)
+    state = SearchState.from_solution(instance, x_init)
+    tabu = TabuList(instance.n_items, config.tenure)
+    best = state.snapshot()
+    evaluations = 0
+    critical_events = 0
+    phases = 0
+    span = config.initial_span
+    stall = 0
+    density = instance.density
+
+    def pick_add() -> int | None:
+        nonlocal evaluations
+        free = state.free_items()
+        if free.size == 0:
+            return None
+        candidates = tabu.admissible(free)
+        if candidates.size == 0:
+            candidates = free
+        evaluations += int(candidates.size)
+        jitter = gen.random(candidates.size) * 1e-9
+        return int(candidates[int(np.argmin(density[candidates] + jitter))])
+
+    def pick_drop() -> int | None:
+        nonlocal evaluations
+        packed = state.packed_items()
+        if packed.size == 0:
+            return None
+        candidates = tabu.admissible(packed)
+        if candidates.size == 0:
+            candidates = packed
+        evaluations += int(candidates.size)
+        jitter = gen.random(candidates.size) * 1e-9
+        return int(candidates[int(np.argmax(density[candidates] + jitter))])
+
+    while not budget.exhausted(
+        evaluations=evaluations, moves=phases, best_value=best.value
+    ):
+        phases += 1
+        # --- constructive phase: to the boundary, then `span` beyond -----
+        last_feasible: Solution | None = None
+        over = 0
+        while over < span:
+            j = pick_add()
+            if j is None:
+                break
+            if state.is_feasible:
+                last_feasible = state.snapshot()
+            state.add(j)
+            tabu.tick()
+            tabu.make_tabu(np.asarray([j], dtype=np.intp))
+            if not state.is_feasible:
+                over += 1
+        if state.is_feasible:
+            last_feasible = state.snapshot()
+        if last_feasible is not None:
+            # Critical event: record the boundary solution.
+            critical_events += 1
+            if last_feasible.value > best.value:
+                best = last_feasible
+                stall = 0
+                span = config.initial_span
+            else:
+                stall += 1
+        # --- destructive phase: back to feasibility, then `span` more ----
+        under = 0
+        while (not state.is_feasible or under < span) and state.packed_items().size > 0:
+            j = pick_drop()
+            if j is None:
+                break
+            state.drop(j)
+            tabu.tick()
+            tabu.make_tabu(np.asarray([j], dtype=np.intp))
+            if state.is_feasible:
+                under += 1
+        if state.is_feasible and state.value > best.value:
+            best = state.snapshot()
+            stall = 0
+            span = config.initial_span
+        if stall >= config.span_increase_after:
+            span = min(config.max_span, span + 1)
+            stall = 0
+
+    return CriticalEventResult(
+        best=best,
+        evaluations=evaluations,
+        critical_events=critical_events,
+        phases=phases,
+    )

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     run a variant (seq/its/cts1/cts2/async) on a named suite
+              instance or an OR-Library file.
+``exact``     branch-and-bound a named instance or file (prove the optimum).
+``generate``  write a pseudo-random instance to an OR-Library file.
+``suite``     list the registered benchmark instances.
+``info``      show instance statistics (size, tightness, LP bound, greedy).
+
+Examples
+--------
+::
+
+    python -m repro solve GK07 --variant cts2 --slaves 8 --seconds 1.0
+    python -m repro solve my_problem.txt --variant seq --evals 200000
+    python -m repro exact FP23
+    python -m repro generate 10 250 --correlated --out hard.txt
+    python -m repro info MK3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis import deviation_percent
+from .core.instance import MKPInstance
+from .instances import (
+    available,
+    correlated_instance,
+    get_instance,
+    read_instance,
+    uncorrelated_instance,
+    write_instance,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_instance(spec: str) -> MKPInstance:
+    """Resolve a CLI instance spec: registry name or file path."""
+    path = Path(spec)
+    if path.exists():
+        return read_instance(path)
+    try:
+        return get_instance(spec)
+    except KeyError as exc:
+        raise SystemExit(
+            f"error: {spec!r} is neither a file nor a known instance name "
+            f"(try `python -m repro suite`)"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel cooperative tabu search for the 0-1 MKP "
+        "(Niar & Fréville, IPPS 1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run a search variant on an instance")
+    solve.add_argument("instance", help="registry name (GK07, FP12, MK3) or file path")
+    solve.add_argument(
+        "--variant",
+        choices=["seq", "its", "cts1", "cts2", "async"],
+        default="cts2",
+    )
+    solve.add_argument("--slaves", type=int, default=8, help="parallel threads P")
+    solve.add_argument("--rounds", type=int, default=8, help="master search iterations")
+    solve.add_argument("--seed", type=int, default=0)
+    group = solve.add_mutually_exclusive_group()
+    group.add_argument("--evals", type=int, help="per-processor evaluation budget")
+    group.add_argument(
+        "--seconds", type=float, help="per-processor simulated-seconds budget"
+    )
+    solve.add_argument(
+        "--trace", action="store_true", help="print per-round statistics"
+    )
+
+    exact = sub.add_parser("exact", help="prove the optimum by branch and bound")
+    exact.add_argument("instance")
+    exact.add_argument("--node-limit", type=int, default=2_000_000)
+
+    gen = sub.add_parser("generate", help="write a pseudo-random instance file")
+    gen.add_argument("m", type=int, help="number of constraints")
+    gen.add_argument("n", type=int, help="number of items")
+    gen.add_argument("--correlated", action="store_true")
+    gen.add_argument("--tightness", type=float, default=0.25)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output file path")
+
+    sub.add_parser("suite", help="list registered benchmark instances")
+
+    info = sub.add_parser("info", help="show instance statistics")
+    info.add_argument("instance")
+
+    report = sub.add_parser(
+        "report", help="assemble benchmarks/results/*.txt into a markdown report"
+    )
+    report.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory the benches wrote their tables to",
+    )
+    report.add_argument("--out", help="write to this file instead of stdout")
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .variants import (
+        solve_cts1,
+        solve_cts2,
+        solve_cts_async,
+        solve_its,
+        solve_seq,
+    )
+
+    instance = _load_instance(args.instance)
+    budget: dict[str, object] = {}
+    if args.evals is not None:
+        budget["max_evaluations"] = args.evals
+    elif args.seconds is not None:
+        budget["virtual_seconds"] = args.seconds
+    else:
+        budget["virtual_seconds"] = 1.0
+
+    if args.variant == "seq":
+        result = solve_seq(instance, rng_seed=args.seed, **budget)
+    elif args.variant == "async":
+        result = solve_cts_async(
+            instance, n_threads=args.slaves, rng_seed=args.seed, **budget
+        )
+    else:
+        solver = {"its": solve_its, "cts1": solve_cts1, "cts2": solve_cts2}[
+            args.variant
+        ]
+        result = solver(
+            instance,
+            n_slaves=args.slaves,
+            n_rounds=args.rounds,
+            rng_seed=args.seed,
+            **budget,
+        )
+
+    print(result.summary())
+    reference = instance.optimum or instance.best_known
+    if reference:
+        print(f"deviation vs reference: "
+              f"{deviation_percent(result.best.value, reference):.3f}%")
+    if args.trace:
+        for stats in result.rounds:
+            print(
+                f"  round {stats.round_index}: best={stats.best_value:,.0f} "
+                f"evals={stats.evaluations:,} "
+                f"vtime={stats.round_virtual_seconds:.4f}s"
+            )
+    print(f"packed items: {result.best.items.tolist()}")
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from .exact import branch_and_bound
+
+    instance = _load_instance(args.instance)
+    result = branch_and_bound(instance, node_limit=args.node_limit)
+    status = "proven optimal" if result.proven else "node limit reached"
+    print(f"{instance.name}: value={result.value:,.0f} ({status}, "
+          f"{result.nodes:,} nodes, root bound {result.root_bound:,.1f})")
+    print(f"items: {result.solution.items.tolist()}")
+    return 0 if result.proven else 2
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = correlated_instance if args.correlated else uncorrelated_instance
+    instance = maker(args.m, args.n, tightness=args.tightness, rng=args.seed)
+    write_instance(instance, args.out)
+    print(f"wrote {instance.size_label} instance to {args.out}")
+    return 0
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    names = available()
+    print(f"{len(names)} registered instances:")
+    for start in range(0, len(names), 8):
+        print("  " + "  ".join(names[start : start + 8]))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .core.construction import greedy_solution
+    from .exact import solve_lp_relaxation
+
+    instance = _load_instance(args.instance)
+    lp = solve_lp_relaxation(instance)
+    greedy = greedy_solution(instance)
+    print(f"name:        {instance.name}")
+    print(f"size (m*n):  {instance.size_label}")
+    print(f"tightness:   {instance.tightness.mean():.3f} (mean b_i / sum_j a_ij)")
+    print(f"LP bound:    {lp.value:,.2f}")
+    print(f"greedy:      {greedy.value:,.0f} "
+          f"({deviation_percent(greedy.value, lp.value):.2f}% below LP)")
+    if instance.optimum is not None:
+        print(f"optimum:     {instance.optimum:,.0f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import assemble_report
+
+    report = assemble_report(args.results_dir)
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "exact": _cmd_exact,
+        "generate": _cmd_generate,
+        "suite": _cmd_suite,
+        "info": _cmd_info,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

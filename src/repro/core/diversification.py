@@ -1,0 +1,83 @@
+"""History-driven diversification (§3.3).
+
+"The diversification phase starts by generating a new starting solution
+X_diver ... by taking into account the most frequently components set to 0
+or 1": components whose long-term frequency exceeds a threshold are forced to
+0 (and made tabu so the search cannot immediately re-pack them); components
+whose frequency falls below the mirror threshold are forced to 1.  The
+resulting vector is repaired to feasibility and topped up greedily, and "the
+search is limited to this new region during a fixed number of iterations" —
+realised here by handing the forced components an extended tabu tenure
+(``lock_iterations``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .construction import fill_greedily, repair
+from .memory import History
+from .solution import SearchState, Solution
+from .tabu_list import TabuList
+
+__all__ = ["DiversificationConfig", "diversify"]
+
+
+@dataclass(frozen=True)
+class DiversificationConfig:
+    """Tuning knobs of the diversification phase.
+
+    ``high_threshold``/``low_threshold`` are frequency cutoffs in [0, 1]
+    (the paper's un-named "threshold"); ``lock_iterations`` is the "fixed
+    number of iterations" the search stays confined to the new region.
+    """
+
+    high_threshold: float = 0.8
+    low_threshold: float = 0.2
+    lock_iterations: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_threshold <= self.high_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 <= low <= high <= 1; got "
+                f"low={self.low_threshold}, high={self.high_threshold}"
+            )
+        if self.lock_iterations < 0:
+            raise ValueError("lock_iterations must be >= 0")
+
+
+def diversify(
+    state: SearchState,
+    history: History,
+    tabu: TabuList,
+    config: DiversificationConfig,
+) -> Solution:
+    """Generate ``X_diver`` in place and lock the forced components.
+
+    Returns the new (feasible) starting solution.  Components forced out
+    receive tabu tenure ``lock_iterations`` beyond the ordinary tenure, so
+    they cannot re-enter while the search explores the neglected region;
+    components forced in are locked symmetrically against being dropped.
+    """
+    overused = history.overused(config.high_threshold)
+    underused = history.underused(config.low_threshold)
+
+    for j in overused:
+        if state.x[j]:
+            state.drop(int(j))
+    for j in underused:
+        if not state.x[j]:
+            state.add(int(j))
+
+    # Forcing rarely-used components in may overload constraints.
+    repair(state)
+    fill_greedily(state)
+
+    forced = np.concatenate([overused, underused]) if (
+        overused.size or underused.size
+    ) else np.empty(0, dtype=np.int64)
+    if forced.size:
+        tabu.make_tabu(forced.astype(np.intp), extra_tenure=config.lock_iterations)
+    return state.snapshot()

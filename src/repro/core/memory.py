@@ -1,0 +1,147 @@
+"""Long-term memory (``History``) and elite solution storage (``BestSol``).
+
+Two memories from the paper:
+
+``History`` (§3.3)
+    "The value of History[i] represents the number of iterations where the
+    component i of the current solution is set to 1."  The diversification
+    phase thresholds this frequency memory to force the search into
+    neglected regions.
+
+``BestSol`` array (Fig. 1, step 7)
+    Each slave records its ``B`` best distinct solutions; the master's SGP
+    measures their Hamming dispersion to decide whether the slave should
+    intensify or diversify next round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .solution import Solution
+
+__all__ = ["History", "EliteArray"]
+
+
+class History:
+    """Frequency-based long-term memory over solution components.
+
+    ``counts[i]`` is the number of recorded iterations in which component
+    ``i`` was set to 1 since the beginning of the search (or the last
+    :meth:`reset`).
+    """
+
+    def __init__(self, n_items: int) -> None:
+        if n_items <= 0:
+            raise ValueError(f"n_items must be positive; got {n_items}")
+        self.n_items = int(n_items)
+        self.counts = np.zeros(n_items, dtype=np.int64)
+        self.iterations = 0
+
+    def record(self, x: np.ndarray) -> None:
+        """Record the current solution vector (call once per TS iteration)."""
+        self.counts += x
+        self.iterations += 1
+
+    def frequency(self) -> np.ndarray:
+        """Fraction of recorded iterations each component spent at 1."""
+        if self.iterations == 0:
+            return np.zeros(self.n_items, dtype=np.float64)
+        return self.counts / self.iterations
+
+    def overused(self, threshold: float) -> np.ndarray:
+        """Components whose frequency exceeds ``threshold`` (to be zeroed)."""
+        return np.flatnonzero(self.frequency() > threshold)
+
+    def underused(self, threshold: float) -> np.ndarray:
+        """Components whose frequency is below ``threshold`` (to be seeded)."""
+        return np.flatnonzero(self.frequency() < threshold)
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+        self.iterations = 0
+
+    def merged_with(self, other: "History") -> "History":
+        """Pointwise sum of two histories (used by the async variant when a
+        thread adopts a peer's view of the landscape)."""
+        if other.n_items != self.n_items:
+            raise ValueError("history size mismatch")
+        out = History(self.n_items)
+        out.counts = self.counts + other.counts
+        out.iterations = self.iterations + other.iterations
+        return out
+
+
+class EliteArray:
+    """Bounded array of the ``B`` best *distinct* solutions seen so far.
+
+    Maintains solutions sorted by decreasing value.  Distinctness is by the
+    0/1 vector, not the value, so plateaus contribute genuinely different
+    elite members (the SGP's dispersion statistic would be meaningless
+    otherwise).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive; got {capacity}")
+        self.capacity = int(capacity)
+        self._solutions: list[Solution] = []
+        self._keys: set[bytes] = set()
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self._solutions)
+
+    def __getitem__(self, idx: int) -> Solution:
+        return self._solutions[idx]
+
+    @property
+    def best(self) -> Solution | None:
+        """Highest-value member, or ``None`` when empty."""
+        return self._solutions[0] if self._solutions else None
+
+    @property
+    def worst_value(self) -> float:
+        """Value of the weakest member (``-inf`` when not yet full)."""
+        if len(self._solutions) < self.capacity:
+            return float("-inf")
+        return self._solutions[-1].value
+
+    def qualifies(self, value: float) -> bool:
+        """Whether a solution of ``value`` would enter the array.
+
+        This is the Fig. 1 step 7 test "If X' is a part of the B Best
+        solutions" — callers use it to skip the snapshot cost for
+        non-qualifying moves.
+        """
+        return value > self.worst_value or len(self._solutions) < self.capacity
+
+    def offer(self, solution: Solution) -> bool:
+        """Insert ``solution`` if it qualifies and is distinct.
+
+        Returns ``True`` when the array changed.
+        """
+        key = solution.x.tobytes()
+        if key in self._keys:
+            return False
+        if not self.qualifies(solution.value):
+            return False
+        self._solutions.append(solution)
+        self._keys.add(key)
+        self._solutions.sort(key=lambda s: -s.value)
+        if len(self._solutions) > self.capacity:
+            evicted = self._solutions.pop()
+            self._keys.discard(evicted.x.tobytes())
+        return True
+
+    def to_list(self) -> list[Solution]:
+        """Snapshot as a plain list (what a slave ships back to the master)."""
+        return list(self._solutions)
+
+    def clear(self) -> None:
+        self._solutions.clear()
+        self._keys.clear()

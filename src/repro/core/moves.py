@@ -1,0 +1,212 @@
+"""The paper's compound *move*: a sequence of ``Nb_drop`` Drops then Adds.
+
+§3.1 (following [3]) defines a move from the current solution ``X`` to its
+successor ``X'`` as two steps:
+
+1. **Drop** — repeated ``Nb_drop`` times: let ``i*`` be the index of the most
+   saturated constraint; drop the packed, non-tabu item ``j*`` maximizing
+   ``a_{i*,j} / c_j`` (the least profit per unit of the scarce resource).
+2. **Add** — add non-tabu items (tabu allowed under aspiration) "until no
+   object can be added".
+
+The :class:`MoveEngine` also counts *candidate evaluations*: the virtual-time
+farm model charges slave CPU time proportional to this counter, which is how
+the reproduction gets deterministic "execution times" out of a single host
+core (see ``repro.farm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .solution import SearchState
+from .tabu_list import TabuList
+
+__all__ = ["MoveEngine", "MoveRecord"]
+
+
+@dataclass
+class MoveRecord:
+    """What one compound move changed (for tabu updates and diagnostics)."""
+
+    dropped: list[int] = field(default_factory=list)
+    added: list[int] = field(default_factory=list)
+
+    @property
+    def touched(self) -> list[int]:
+        return self.dropped + self.added
+
+    @property
+    def hamming_step(self) -> int:
+        """Hamming distance between the pre- and post-move solutions."""
+        return len(self.dropped) + len(self.added)
+
+
+class MoveEngine:
+    """Applies Drop/Add compound moves to a :class:`SearchState`.
+
+    Parameters
+    ----------
+    state:
+        The mutable search state the engine operates on.
+    tabu:
+        Short-term memory consulted for both steps.
+    rng:
+        Tie-breaking source.  The paper's argmax/argmin rules frequently tie
+        on integer data; random tie-breaking keeps parallel threads with
+        different seeds on different trajectories.
+    """
+
+    def __init__(
+        self,
+        state: SearchState,
+        tabu: TabuList,
+        rng: np.random.Generator,
+        add_candidates: int = 2,
+    ) -> None:
+        if add_candidates < 1:
+            raise ValueError(f"add_candidates must be >= 1; got {add_candidates}")
+        self.state = state
+        self.tabu = tabu
+        self.rng = rng
+        #: Add-step selection breadth: the item is drawn uniformly from the
+        #: ``add_candidates`` best-ratio admissible items.  The paper leaves
+        #: the Add selection rule unspecified ("one or several components
+        #: fixed at 0 are chosen"); breadth > 1 lets parallel threads reach
+        #: different maximal completions of the same partial solution, which
+        #: measurably improves the FP-57 optimum-hit rate (see DESIGN.md).
+        #: 1 recovers the fully greedy deterministic rule.
+        self.add_candidates = int(add_candidates)
+        #: cumulative number of candidate evaluations (farm cost model input)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # Drop step
+    # ------------------------------------------------------------------ #
+    def select_drop(self) -> int | None:
+        """Pick the item to drop per the saturated-constraint rule.
+
+        Returns ``None`` when the knapsack is empty.  When every packed item
+        is tabu the rule would deadlock; the paper does not specify this
+        case, so we fall back to ignoring tabu status (a standard TS escape
+        that keeps the thread moving; documented in DESIGN.md §6 notes).
+        """
+        packed = self.state.packed_items()
+        if packed.size == 0:
+            return None
+        i_star = self.state.most_saturated_constraint()
+        candidates = self.tabu.admissible(packed)
+        if candidates.size == 0:
+            candidates = packed
+        ratios = (
+            self.state.instance.weights[i_star, candidates]
+            / self.state.instance.profits[candidates]
+        )
+        self.evaluations += int(candidates.size)
+        return int(candidates[_argmax_random_tie(ratios, self.rng)])
+
+    def drop_step(self, nb_drop: int) -> list[int]:
+        """Perform up to ``nb_drop`` drops; returns the dropped indices."""
+        dropped: list[int] = []
+        for _ in range(max(0, int(nb_drop))):
+            j = self.select_drop()
+            if j is None:
+                break
+            self.state.drop(j)
+            dropped.append(j)
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Add step
+    # ------------------------------------------------------------------ #
+    def select_add(
+        self, best_value: float, exclude: set[int] | None = None
+    ) -> int | None:
+        """Pick the item to add, honouring tabu status and aspiration.
+
+        Among free items that fit the residual capacities, prefer non-tabu
+        ones; a tabu item is admissible only if adding it would beat the
+        incumbent ``best_value`` (aspiration).  The selection rule mirrors
+        the drop rule: minimize ``a_{i*,j} / c_j`` against the currently
+        most saturated constraint, i.e. grab the best payoff per unit of
+        the scarcest resource.
+
+        ``exclude`` bars items unconditionally — the compound move passes
+        the indices it just dropped, since the tabu list is only updated
+        *after* the move (Fig. 1 step 9) and re-adding a just-dropped item
+        would turn the move into a no-op.
+        """
+        fitting = self.state.fitting_items()
+        if exclude:
+            fitting = fitting[~np.isin(fitting, list(exclude))]
+        if fitting.size == 0:
+            return None
+        self.evaluations += int(fitting.size)
+        mask = self.tabu.tabu_mask(fitting)
+        allowed = fitting[~mask]
+        if allowed.size == 0:
+            # Aspiration: a tabu add is allowed if it beats the incumbent.
+            tabu_items = fitting[mask]
+            gains = self.state.value + self.state.instance.profits[tabu_items]
+            aspire = tabu_items[gains > best_value]
+            if aspire.size == 0:
+                return None
+            allowed = aspire
+        i_star = self.state.most_saturated_constraint()
+        ratios = (
+            self.state.instance.weights[i_star, allowed]
+            / self.state.instance.profits[allowed]
+        )
+        if self.add_candidates == 1 or allowed.size == 1:
+            return int(allowed[_argmin_random_tie(ratios, self.rng)])
+        k = min(self.add_candidates, allowed.size)
+        top = np.argpartition(ratios, k - 1)[:k]
+        return int(allowed[self.rng.choice(top)])
+
+    def add_step(
+        self, best_value: float, exclude: set[int] | None = None
+    ) -> list[int]:
+        """Add items until none can be added; returns the added indices."""
+        added: list[int] = []
+        while True:
+            j = self.select_add(best_value, exclude)
+            if j is None:
+                break
+            self.state.add(j)
+            added.append(j)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Compound move
+    # ------------------------------------------------------------------ #
+    def apply(self, nb_drop: int, best_value: float) -> MoveRecord:
+        """One full Drop^``nb_drop``/Add move (Fig. 1, step 5).
+
+        The caller is responsible for marking ``record.touched`` tabu and
+        ticking the tabu clock (Fig. 1, steps 8–9), because intensification
+        phases reuse the engine without touching the short-term memory.
+        """
+        record = MoveRecord()
+        record.dropped = self.drop_step(nb_drop)
+        record.added = self.add_step(best_value, exclude=set(record.dropped))
+        return record
+
+
+def _argmax_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
+    """Index of the maximum, breaking exact ties uniformly at random."""
+    top = values.max()
+    ties = np.flatnonzero(values == top)
+    if ties.size == 1:
+        return int(ties[0])
+    return int(rng.choice(ties))
+
+
+def _argmin_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
+    """Index of the minimum, breaking exact ties uniformly at random."""
+    bottom = values.min()
+    ties = np.flatnonzero(values == bottom)
+    if ties.size == 1:
+        return int(ties[0])
+    return int(rng.choice(ties))

@@ -1,0 +1,257 @@
+"""Solution representations for the 0–1 MKP.
+
+Two classes share the work:
+
+:class:`Solution`
+    An immutable snapshot — a 0/1 vector plus its cached objective value.
+    These are what gets stored in elite (``BestSol``) arrays, shipped between
+    master and slaves, and compared by Hamming distance in the SGP.
+
+:class:`SearchState`
+    The *mutable* working state of one tabu-search thread.  It maintains the
+    invariant ``load == A @ x`` and ``value == c @ x`` under O(m) incremental
+    ``add``/``drop`` updates, which is the vectorized hot path the
+    hpc-parallel guides call for (never recompute ``A @ x`` per move).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from .instance import MKPInstance
+
+__all__ = ["Solution", "SearchState", "hamming_distance", "mean_pairwise_distance"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An immutable 0/1 solution with its objective value.
+
+    ``value`` is trusted (it is produced by :class:`SearchState`, whose
+    invariant is property-tested); :meth:`verified` recomputes it for audits.
+    """
+
+    x: np.ndarray
+    value: float
+
+    def __post_init__(self) -> None:
+        x = np.ascontiguousarray(self.x, dtype=np.int8)
+        if x.ndim != 1:
+            raise ValueError(f"solution vector must be 1-D; got shape {x.shape}")
+        if not np.all((x == 0) | (x == 1)):
+            raise ValueError("solution vector must be 0/1")
+        x.setflags(write=False)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "value", float(self.value))
+
+    @property
+    def n_items(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def items(self) -> np.ndarray:
+        """Indices of items packed in the knapsack (``x_j == 1``)."""
+        return np.flatnonzero(self.x)
+
+    def verified(self, instance: MKPInstance) -> "Solution":
+        """Return a copy with ``value`` recomputed from ``instance``."""
+        return Solution(self.x, instance.objective(self.x))
+
+    def is_feasible(self, instance: MKPInstance) -> bool:
+        return instance.is_feasible(self.x)
+
+    def distance(self, other: "Solution") -> int:
+        """Hamming distance to another solution (SGP dispersion metric)."""
+        return hamming_distance(self.x, other.x)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Solution):
+            return NotImplemented
+        return self.value == other.value and np.array_equal(self.x, other.x)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.x.tobytes()))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Solution(value={self.value:g}, packed={int(self.x.sum())}/{self.n_items})"
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Hamming distance between two 0/1 vectors.
+
+    §4.2: "The hamming distance is used to compute the distance between
+    solutions" when the SGP decides whether a slave's elite solutions are
+    clustered (⇒ diversify) or dispersed (⇒ intensify).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def mean_pairwise_distance(solutions: Iterable[Solution]) -> float:
+    """Mean pairwise Hamming distance of a set of solutions.
+
+    Returns 0.0 for fewer than two solutions.  This is the dispersion
+    statistic the master's SGP thresholds against ``n`` to pick between
+    intensifying and diversifying parameter updates.
+    """
+    sols = list(solutions)
+    if len(sols) < 2:
+        return 0.0
+    xs = np.stack([s.x for s in sols]).astype(np.int16)
+    total = 0
+    count = 0
+    for i in range(len(sols)):
+        diffs = np.count_nonzero(xs[i + 1 :] != xs[i], axis=1)
+        total += int(diffs.sum())
+        count += diffs.shape[0]
+    return total / count
+
+
+@dataclass
+class SearchState:
+    """Mutable working state of a tabu-search thread.
+
+    Invariants (property-tested in ``tests/test_solution_properties.py``):
+
+    * ``load == instance.weights @ x`` (within float tolerance),
+    * ``value == instance.profits @ x``,
+    * both are maintained under :meth:`add` / :meth:`drop` in O(m) time.
+
+    The state may be temporarily *infeasible* during strategic oscillation;
+    :attr:`is_feasible` and :attr:`slack` expose the current standing.
+    """
+
+    instance: MKPInstance
+    x: np.ndarray
+    load: np.ndarray = field(init=False)
+    value: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        x = np.ascontiguousarray(self.x, dtype=np.int8)
+        if x.shape != (self.instance.n_items,):
+            raise ValueError(
+                f"solution vector must have shape ({self.instance.n_items},); got {x.shape}"
+            )
+        if not np.all((x == 0) | (x == 1)):
+            raise ValueError("solution vector must be 0/1")
+        self.x = x
+        self.load = self.instance.weights @ x.astype(np.float64)
+        self.value = float(self.instance.profits @ x.astype(np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, instance: MKPInstance) -> "SearchState":
+        """All-zero state (always feasible since weights are non-negative)."""
+        return cls(instance, np.zeros(instance.n_items, dtype=np.int8))
+
+    @classmethod
+    def from_solution(cls, instance: MKPInstance, solution: Solution) -> "SearchState":
+        return cls(instance, solution.x.copy())
+
+    # ------------------------------------------------------------------ #
+    # Incremental moves (the vectorized hot path)
+    # ------------------------------------------------------------------ #
+    def add(self, j: int) -> None:
+        """Set ``x_j = 1``; O(m) incremental update of load and value."""
+        if self.x[j]:
+            raise ValueError(f"item {j} is already in the knapsack")
+        self.x[j] = 1
+        self.load += self.instance.weights[:, j]
+        self.value += self.instance.profits[j]
+
+    def drop(self, j: int) -> None:
+        """Set ``x_j = 0``; O(m) incremental update of load and value."""
+        if not self.x[j]:
+            raise ValueError(f"item {j} is not in the knapsack")
+        self.x[j] = 0
+        self.load -= self.instance.weights[:, j]
+        self.value -= self.instance.profits[j]
+
+    def flip(self, j: int) -> None:
+        """Toggle ``x_j`` (convenience for swap intensification)."""
+        if self.x[j]:
+            self.drop(j)
+        else:
+            self.add(j)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def slack(self) -> np.ndarray:
+        """Remaining capacity per constraint ``b - load`` (may be negative)."""
+        return self.instance.capacities - self.load
+
+    @property
+    def is_feasible(self) -> bool:
+        return bool(np.all(self.load <= self.instance.capacities + 1e-9))
+
+    @property
+    def violation(self) -> float:
+        """Total positive constraint excess (0.0 iff feasible)."""
+        excess = self.load - self.instance.capacities
+        return float(np.clip(excess, 0.0, None).sum())
+
+    def packed_items(self) -> np.ndarray:
+        """Indices with ``x_j == 1``."""
+        return np.flatnonzero(self.x)
+
+    def free_items(self) -> np.ndarray:
+        """Indices with ``x_j == 0``."""
+        return np.flatnonzero(self.x == 0)
+
+    def fitting_items(self) -> np.ndarray:
+        """Free items that fit in the *current* residual capacity.
+
+        Vectorized: one ``(m, k)`` broadcast comparison over the free
+        columns, per the numpy-vectorization guidance (views, no copies of
+        the weight matrix).
+        """
+        free = self.free_items()
+        if free.size == 0:
+            return free
+        fits = np.all(
+            self.instance.weights[:, free] <= (self.slack[:, None] + 1e-9), axis=0
+        )
+        return free[fits]
+
+    def most_saturated_constraint(self) -> int:
+        """Index of the constraint with minimum slack.
+
+        §3.1 drop rule, step 1: ``i* = ArgMin_i (sum_j a_ij x_j - b_i)`` —
+        note the paper writes load − capacity, whose argmin over i is the
+        constraint closest to (or deepest into) its capacity... The intended
+        heuristic (and the one used in the cited technical report) is the
+        *most saturated* constraint, i.e. the one with the least remaining
+        slack ``b_i - load_i``; we implement argmin of slack.
+        """
+        return int(np.argmin(self.slack))
+
+    def snapshot(self) -> Solution:
+        """Freeze the current state into an immutable :class:`Solution`."""
+        return Solution(self.x.copy(), self.value)
+
+    def restore(self, solution: Solution) -> None:
+        """Reset the state to ``solution`` (recomputes load/value, O(mn))."""
+        x = solution.x.astype(np.int8).copy()
+        if x.shape != (self.instance.n_items,):
+            raise ValueError("solution shape does not match instance")
+        self.x = x
+        self.load = self.instance.weights @ x.astype(np.float64)
+        self.value = float(self.instance.profits @ x.astype(np.float64))
+
+    def recompute(self) -> None:
+        """Recompute load/value from scratch (defensive audit helper)."""
+        self.load = self.instance.weights @ self.x.astype(np.float64)
+        self.value = float(self.instance.profits @ self.x.astype(np.float64))
+
+    def copy(self) -> "SearchState":
+        return SearchState(self.instance, self.x.copy())

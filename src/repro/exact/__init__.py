@@ -1,0 +1,29 @@
+"""Exact solvers and bounds for the 0–1 MKP.
+
+The paper's evaluation needs certified reference values ("Dev. in %", the
+FP-57 "optimum reached" claim); this subpackage supplies them:
+branch & bound with surrogate/LP bounds, a single-constraint DP oracle, and
+size-reduction preprocessing.
+"""
+
+from .bounds import LPRelaxation, SurrogateBound, dantzig_bound, solve_lp_relaxation
+from .branch_and_bound import BnBResult, branch_and_bound
+from .dp import solve_instance_dp, solve_knapsack_dp
+from .lagrangian import LagrangianResult, lagrangian_bound, lagrangian_value
+from .preprocess import Reduction, reduce_instance
+
+__all__ = [
+    "LPRelaxation",
+    "SurrogateBound",
+    "dantzig_bound",
+    "solve_lp_relaxation",
+    "BnBResult",
+    "branch_and_bound",
+    "solve_knapsack_dp",
+    "solve_instance_dp",
+    "LagrangianResult",
+    "lagrangian_bound",
+    "lagrangian_value",
+    "Reduction",
+    "reduce_instance",
+]

@@ -1,0 +1,89 @@
+"""Exact dynamic programming for the single-constraint 0–1 knapsack.
+
+Used as (a) an independent oracle to cross-check the branch and bound on
+``m = 1`` instances, and (b) the exact solver behind the small end of the
+FP-57-style suite (the paper's first benchmark includes ``m = 2`` problems
+whose surrogate aggregation reduces exactly to one constraint only when a
+constraint is redundant — otherwise B&B handles them).
+
+The table is vectorized along the capacity axis: each item is a single
+shifted ``np.maximum`` over the value row, i.e. O(n·b) time with numpy inner
+loops, no Python-level per-capacity iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import MKPInstance
+
+__all__ = ["solve_knapsack_dp"]
+
+
+def solve_knapsack_dp(
+    profits: np.ndarray, weights: np.ndarray, capacity: float
+) -> tuple[float, np.ndarray]:
+    """Solve ``max c·x : w·x <= b, x ∈ {0,1}^n`` exactly.
+
+    Weights and capacity must be (convertible to) non-negative integers —
+    the DP state space is the integer capacity axis.  Returns
+    ``(optimal_value, x)``.
+    """
+    profits = np.asarray(profits, dtype=np.float64)
+    w_float = np.asarray(weights, dtype=np.float64)
+    if profits.shape != w_float.shape or profits.ndim != 1:
+        raise ValueError("profits and weights must be 1-D with matching shapes")
+    if np.any(w_float < 0):
+        raise ValueError("weights must be non-negative")
+    weights_int = np.rint(w_float).astype(np.int64)
+    if not np.allclose(weights_int, w_float, atol=1e-9):
+        raise ValueError("DP requires integer weights")
+    b = int(np.floor(capacity + 1e-9))
+    if b < 0:
+        raise ValueError("capacity must be non-negative")
+
+    n = profits.size
+    # value[c] = best value with capacity c using items seen so far
+    value = np.zeros(b + 1, dtype=np.float64)
+    # take[j, c] = whether item j is taken at capacity c in an optimal plan
+    take = np.zeros((n, b + 1), dtype=bool)
+
+    for j in range(n):
+        w = int(weights_int[j])
+        p = float(profits[j])
+        if w > b:
+            continue
+        if w == 0:
+            if p > 0:
+                value += p
+                take[j, :] = True
+            continue
+        candidate = value[: b + 1 - w] + p
+        improved = candidate > value[w:]
+        take[j, w:] = improved
+        value[w:] = np.where(improved, candidate, value[w:])
+
+    # Backtrack
+    x = np.zeros(n, dtype=np.int8)
+    c = b
+    for j in range(n - 1, -1, -1):
+        w = int(weights_int[j])
+        if w == 0:
+            if take[j, c]:
+                x[j] = 1
+            continue
+        if c >= w and take[j, c]:
+            x[j] = 1
+            c -= w
+    return float(value[b]), x
+
+
+def solve_instance_dp(instance: MKPInstance) -> tuple[float, np.ndarray]:
+    """Exact DP for an ``m = 1`` :class:`MKPInstance`."""
+    if instance.n_constraints != 1:
+        raise ValueError(
+            f"DP solver handles exactly one constraint; got {instance.n_constraints}"
+        )
+    return solve_knapsack_dp(
+        instance.profits, instance.weights[0], float(instance.capacities[0])
+    )

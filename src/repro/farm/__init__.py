@@ -1,0 +1,21 @@
+"""Deterministic model of the paper's 16-Alpha PVM farm (DESIGN.md §3).
+
+Converts algorithmic work (candidate evaluations) and message traffic into
+virtual seconds, so that "for a fixed execution time" experiments replay
+bit-for-bit on any host.
+"""
+
+from .clock import VirtualClock
+from .machine import ALPHA_FARM, CrossbarModel, FarmModel, ProcessorModel
+from .trace import EventKind, FarmEvent, FarmTrace
+
+__all__ = [
+    "VirtualClock",
+    "FarmModel",
+    "ProcessorModel",
+    "CrossbarModel",
+    "ALPHA_FARM",
+    "FarmTrace",
+    "FarmEvent",
+    "EventKind",
+]

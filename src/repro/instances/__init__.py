@@ -1,0 +1,32 @@
+"""Instance generators, benchmark suites and file I/O."""
+
+from .chu_beasley import cb_cell, cb_instance, cb_suite_index
+from .fp57 import FP57_DIMENSIONS, attach_optimum, fp57_instance, fp57_suite
+from .generators import correlated_instance, make_instance, uncorrelated_instance
+from .gk import GK_GROUPS, gk_group, gk_instance, gk_suite, mk_suite
+from .io import read_instance, read_orlib_file, write_instance, write_orlib_file
+from .registry import available, get_instance
+
+__all__ = [
+    "correlated_instance",
+    "cb_instance",
+    "cb_cell",
+    "cb_suite_index",
+    "uncorrelated_instance",
+    "make_instance",
+    "fp57_suite",
+    "fp57_instance",
+    "attach_optimum",
+    "FP57_DIMENSIONS",
+    "gk_suite",
+    "gk_group",
+    "gk_instance",
+    "mk_suite",
+    "GK_GROUPS",
+    "read_instance",
+    "read_orlib_file",
+    "write_instance",
+    "write_orlib_file",
+    "get_instance",
+    "available",
+]

@@ -1,0 +1,127 @@
+"""The Fréville–Plateau-style 57-instance suite (DESIGN.md §3).
+
+The paper's first benchmark is the 57 problems of Fréville & Plateau,
+"Hard 0-1 test problems for size reduction methods" (Investigación
+Operativa, 1994): "The number of variables varies from 6 up to 105 and the
+number of constraints from 2 up to 30.  The optimal solution is reached for
+all these problems."
+
+The original data files are not distributable here, so we generate a
+57-instance suite with the same published shape — n spanning [6, 105] and m
+spanning [2, 30] — deterministically from a fixed seed, and *prove* each
+optimum with the branch-and-bound substrate, so the paper's claim ("optimum
+reached on all 57") remains testable in identical form.
+
+The dimension table interleaves correlated and uncorrelated instances; the
+largest n appear with small m (where the surrogate bound is near-exact and
+proofs are fast), mirroring the original suite's bias toward few-constraint
+problems.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.instance import MKPInstance
+from ..exact.branch_and_bound import branch_and_bound
+from .generators import make_instance
+
+__all__ = ["FP57_DIMENSIONS", "fp57_suite", "fp57_instance", "attach_optimum"]
+
+#: Master seed for the whole suite; instance k uses seed FP57_SEED + k.
+FP57_SEED = 1994
+
+#: The 57 (m, n) pairs. n ∈ [6, 105], m ∈ [2, 30], biased like the original
+#: suite: many small problems, a tail of wide few-constraint ones.
+FP57_DIMENSIONS: list[tuple[int, int]] = [
+    # m = 2 (wide, few constraints) — 12 problems
+    (2, 6), (2, 10), (2, 15), (2, 20), (2, 28), (2, 35),
+    (2, 45), (2, 55), (2, 70), (2, 85), (2, 95), (2, 105),
+    # m = 3 — 8 problems
+    (3, 8), (3, 12), (3, 18), (3, 25), (3, 35), (3, 50), (3, 70), (3, 90),
+    # m = 5 — 8 problems
+    (5, 10), (5, 15), (5, 22), (5, 30), (5, 40), (5, 55), (5, 70), (5, 85),
+    # m = 8 — 6 problems
+    (8, 12), (8, 18), (8, 25), (8, 35), (8, 50), (8, 65),
+    # m = 10 — 6 problems
+    (10, 15), (10, 20), (10, 28), (10, 38), (10, 50), (10, 60),
+    # m = 15 — 6 problems
+    (15, 12), (15, 18), (15, 25), (15, 32), (15, 40), (15, 50),
+    # m = 20 — 4 problems
+    (20, 15), (20, 22), (20, 30), (20, 40),
+    # m = 25 — 4 problems
+    (25, 12), (25, 20), (25, 28), (25, 35),
+    # m = 30 — 3 problems
+    (30, 10), (30, 18), (30, 25),
+]
+
+assert len(FP57_DIMENSIONS) == 57, "the FP suite must contain exactly 57 problems"
+
+#: Curated per-index generation overrides ``index -> (correlated, tightness,
+#: seed)``.  A handful of the default draws are not provable within a
+#: reasonable branch-and-bound node limit (millions of nodes); since the
+#: suite's *defining* property is "every optimum is proven", those entries
+#: are pinned to verified-provable draws of the same dimensions.  This is a
+#: property of the suite definition, not a runtime fallback.
+_OVERRIDES: dict[int, tuple[bool, float, int]] = {
+    38: (False, 0.5, FP57_SEED + 38),   # 10x50
+    42: (True, 0.5, FP57_SEED + 42 + 1000),   # 15x25
+    44: (False, 0.5, FP57_SEED + 44),   # 15x40
+    48: (False, 0.5, FP57_SEED + 48),   # 20x30
+    52: (True, 0.5, FP57_SEED + 52 + 5000),   # 25x28
+}
+
+
+def fp57_instance(index: int, *, with_optimum: bool = False) -> MKPInstance:
+    """Build FP-style problem ``index`` (0-based).
+
+    ``with_optimum=True`` additionally proves the optimum via branch and
+    bound and attaches it (cached per process; the proof can take a few
+    seconds for the widest problems).
+    """
+    if not 0 <= index < len(FP57_DIMENSIONS):
+        raise IndexError(f"FP57 index must be in [0, 57); got {index}")
+    m, n = FP57_DIMENSIONS[index]
+    # Alternate correlated/uncorrelated like the heterogeneous original set;
+    # a few indices carry curated draws (see _OVERRIDES).
+    correlated, tightness, seed = _OVERRIDES.get(
+        index,
+        (index % 2 == 0, 0.5 if m >= 15 else 0.25, FP57_SEED + index),
+    )
+    instance = make_instance(
+        m,
+        n,
+        correlated=correlated,
+        tightness=tightness,
+        rng=seed,
+        name=f"FP{index + 1:02d}-{m}x{n}",
+    )
+    if with_optimum:
+        instance = attach_optimum(instance)
+    return instance
+
+
+@lru_cache(maxsize=64)
+def _proved_optimum(index: int) -> float:
+    m, n = FP57_DIMENSIONS[index]
+    instance = fp57_instance(index, with_optimum=False)
+    result = branch_and_bound(instance, node_limit=5_000_000)
+    if not result.proven:  # pragma: no cover - suite is chosen to be provable
+        raise RuntimeError(
+            f"could not prove optimum of {instance.name} within the node limit"
+        )
+    return result.value
+
+
+def attach_optimum(instance: MKPInstance) -> MKPInstance:
+    """Attach the proven optimum to an FP suite instance (cached)."""
+    prefix = instance.name.split("-", 1)[0]
+    if not prefix.startswith("FP"):
+        raise ValueError(f"not an FP suite instance: {instance.name}")
+    index = int(prefix[2:]) - 1
+    return instance.with_reference(optimum=_proved_optimum(index))
+
+
+def fp57_suite(*, with_optima: bool = False) -> list[MKPInstance]:
+    """All 57 problems, in suite order."""
+    return [fp57_instance(k, with_optimum=with_optima) for k in range(57)]

@@ -1,0 +1,111 @@
+"""The Glover–Kochenberger-style suite and the MK1–MK5 problems.
+
+§5: "The second set of problems has been proposed in Glover and
+Kochenberger.  This set consists in MKP of size ranging from 3*10 up to
+25*500."  Table 1 groups the problems as 1–4, 5–8, 9–14, 15–17, 18–22 plus
+two individually-listed large instances — 24 problems in 7 rows.
+
+The original data is unavailable offline; per DESIGN.md §3 we reconstruct a
+24-problem suite with the same group structure and size envelope (m from 3
+to 25, n from 10 to 500), generated with the standard correlated scheme at
+tightness 0.25.  Dimensions within a group grow with the problem number, so
+the Table-1 trend — harder/larger groups take longer and deviate more — is
+exercised by construction.
+
+Table 2's MK1–MK5 are "0-1 MKP of large size" used for the fixed-time
+variant comparison; :func:`mk_suite` designates five large GK-style
+instances for that role.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import MKPInstance
+from .generators import correlated_instance
+
+__all__ = ["GK_GROUPS", "gk_suite", "gk_group", "gk_instance", "mk_suite"]
+
+#: Master seed; problem k uses seed GK_SEED + k.
+GK_SEED = 1996
+
+#: Table-1 row structure: (row label, m, list of n per problem in the row).
+GK_GROUPS: list[tuple[str, int, list[int]]] = [
+    ("1to4", 3, [10, 30, 60, 100]),
+    ("5to8", 5, [30, 60, 100, 150]),
+    ("9to14", 10, [50, 100, 150, 200, 250, 300]),
+    ("15to17", 15, [100, 200, 300]),
+    ("18to22", 25, [100, 200, 300, 400, 500]),
+    ("23", 25, [500]),
+    ("24", 25, [500]),
+]
+
+#: Tightness per row; the last two large problems use a tighter / looser
+#: capacity to stand in for the two individually-reported instances.
+_GROUP_TIGHTNESS: dict[str, float] = {
+    "1to4": 0.25,
+    "5to8": 0.25,
+    "9to14": 0.25,
+    "15to17": 0.25,
+    "18to22": 0.25,
+    "23": 0.20,
+    "24": 0.35,
+}
+
+
+def gk_group(label: str) -> list[MKPInstance]:
+    """All instances of one Table-1 row."""
+    offset = 0
+    for row_label, m, ns in GK_GROUPS:
+        if row_label == label:
+            return [
+                _build(offset + i, row_label, m, n) for i, n in enumerate(ns)
+            ]
+        offset += len(ns)
+    raise KeyError(
+        f"unknown GK group {label!r}; known: {[g[0] for g in GK_GROUPS]}"
+    )
+
+
+def gk_instance(number: int) -> MKPInstance:
+    """GK problem by 1-based number (1..24), matching Table 1's indexing."""
+    offset = 0
+    for row_label, m, ns in GK_GROUPS:
+        if number <= offset + len(ns):
+            n = ns[number - offset - 1]
+            return _build(number - 1, row_label, m, n)
+        offset += len(ns)
+    raise IndexError(f"GK problem number must be in [1, {offset}]; got {number}")
+
+
+def gk_suite() -> list[MKPInstance]:
+    """All 24 problems in Table-1 order."""
+    out: list[MKPInstance] = []
+    idx = 0
+    for row_label, m, ns in GK_GROUPS:
+        for n in ns:
+            out.append(_build(idx, row_label, m, n))
+            idx += 1
+    return out
+
+
+def _build(index: int, row_label: str, m: int, n: int) -> MKPInstance:
+    return correlated_instance(
+        m,
+        n,
+        tightness=_GROUP_TIGHTNESS[row_label],
+        rng=GK_SEED + index,
+        name=f"GK{index + 1:02d}-{m}x{n}",
+    )
+
+
+def mk_suite() -> list[MKPInstance]:
+    """MK1–MK5: the five large problems of Table 2.
+
+    Five hard instances spanning the large end of the GK envelope.
+    """
+    dims = [(10, 250), (15, 300), (25, 300), (25, 400), (25, 500)]
+    return [
+        correlated_instance(
+            m, n, tightness=0.25, rng=7000 + k, name=f"MK{k + 1}"
+        )
+        for k, (m, n) in enumerate(dims)
+    ]

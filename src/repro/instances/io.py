@@ -1,0 +1,122 @@
+"""Read/write 0–1 MKP instances in the standard OR-Library text format.
+
+Format (whitespace-separated, as used by Chu & Beasley's ``mknap`` files
+for a single instance)::
+
+    n m optimum        # optimum = 0 when unknown
+    c_1 ... c_n        # profits
+    a_11 ... a_1n      # constraint row 1
+    ...
+    a_m1 ... a_mn      # constraint row m
+    b_1 ... b_m        # capacities
+
+Multi-instance files start with a count line; :func:`read_orlib_file`
+handles both single- and multi-instance layouts.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, TextIO
+
+import numpy as np
+
+from ..core.instance import MKPInstance
+
+__all__ = ["write_instance", "read_instance", "read_orlib_file", "write_orlib_file"]
+
+
+def _token_stream(handle: TextIO) -> Iterator[float]:
+    for line in handle:
+        stripped = line.split("#", 1)[0]
+        for token in stripped.split():
+            yield float(token)
+
+
+def _read_one(tokens: Iterator[float]) -> MKPInstance:
+    try:
+        n = int(next(tokens))
+        m = int(next(tokens))
+        optimum = float(next(tokens))
+    except StopIteration as exc:
+        raise ValueError("truncated MKP file: missing header") from exc
+    if n < 1 or m < 1:
+        raise ValueError(f"invalid header: n={n}, m={m}")
+
+    def take(count: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.float64)
+        for k in range(count):
+            try:
+                out[k] = next(tokens)
+            except StopIteration as exc:
+                raise ValueError("truncated MKP file: not enough coefficients") from exc
+        return out
+
+    profits = take(n)
+    weights = take(m * n).reshape(m, n)
+    capacities = take(m)
+    return MKPInstance(
+        weights=weights,
+        capacities=capacities,
+        profits=profits,
+        optimum=optimum if optimum > 0 else None,
+    )
+
+
+def read_instance(path: str | Path) -> MKPInstance:
+    """Read a single instance from ``path`` (header ``n m optimum``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read_one(_token_stream(handle)).renamed(Path(path).stem)
+
+
+def read_orlib_file(path: str | Path) -> list[MKPInstance]:
+    """Read an OR-Library multi-instance file (first token = count)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tokens = _token_stream(handle)
+        try:
+            count = int(next(tokens))
+        except StopIteration as exc:
+            raise ValueError("empty MKP file") from exc
+        if count < 1:
+            raise ValueError(f"invalid instance count: {count}")
+        stem = Path(path).stem
+        return [
+            _read_one(tokens).renamed(f"{stem}-{k + 1}") for k in range(count)
+        ]
+
+
+def _format_array(values: np.ndarray, per_line: int = 12) -> str:
+    parts = []
+    flat = np.asarray(values).ravel()
+    for start in range(0, flat.size, per_line):
+        parts.append(" ".join(_fmt(v) for v in flat[start : start + per_line]))
+    return "\n".join(parts)
+
+
+def _fmt(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else repr(float(v))
+
+
+def write_instance(instance: MKPInstance, path: str | Path) -> None:
+    """Write one instance in the format :func:`read_instance` accepts."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_one(instance, handle)
+
+
+def _write_one(instance: MKPInstance, handle: TextIO) -> None:
+    optimum = instance.optimum if instance.optimum is not None else 0
+    handle.write(f"{instance.n_items} {instance.n_constraints} {_fmt(optimum)}\n")
+    handle.write(_format_array(instance.profits) + "\n")
+    for row in instance.weights:
+        handle.write(_format_array(row) + "\n")
+    handle.write(_format_array(instance.capacities) + "\n")
+
+
+def write_orlib_file(instances: list[MKPInstance], path: str | Path) -> None:
+    """Write a multi-instance OR-Library file."""
+    buffer = io.StringIO()
+    buffer.write(f"{len(instances)}\n")
+    for inst in instances:
+        _write_one(inst, buffer)
+    Path(path).write_text(buffer.getvalue(), encoding="utf-8")

@@ -1,0 +1,50 @@
+"""Name-based instance lookup, for example scripts and CLI-style use.
+
+``get_instance("GK07")``, ``get_instance("FP03")``, ``get_instance("MK2")``
+resolve into the corresponding suite member; ``available()`` lists every
+registered name.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.instance import MKPInstance
+from .fp57 import FP57_DIMENSIONS, fp57_instance
+from .gk import GK_GROUPS, gk_instance, mk_suite
+
+__all__ = ["get_instance", "available"]
+
+_PATTERN = re.compile(r"^(FP|GK|MK)(\d+)$", re.IGNORECASE)
+
+
+def available() -> list[str]:
+    """Every resolvable instance name."""
+    names = [f"FP{k + 1:02d}" for k in range(len(FP57_DIMENSIONS))]
+    n_gk = sum(len(ns) for _, _, ns in GK_GROUPS)
+    names += [f"GK{k + 1:02d}" for k in range(n_gk)]
+    names += [f"MK{k + 1}" for k in range(5)]
+    return names
+
+
+def get_instance(name: str) -> MKPInstance:
+    """Resolve a suite instance by name (case-insensitive).
+
+    Raises ``KeyError`` with the list of valid prefixes on bad input.
+    """
+    match = _PATTERN.match(name.strip())
+    if not match:
+        raise KeyError(
+            f"unrecognized instance name {name!r}; expected FPnn, GKnn or MKn"
+        )
+    family, number = match.group(1).upper(), int(match.group(2))
+    if family == "FP":
+        if not 1 <= number <= len(FP57_DIMENSIONS):
+            raise KeyError(f"FP number out of range: {number}")
+        return fp57_instance(number - 1)
+    if family == "GK":
+        return gk_instance(number)
+    suite = mk_suite()
+    if not 1 <= number <= len(suite):
+        raise KeyError(f"MK number out of range: {number}")
+    return suite[number - 1]

@@ -1,0 +1,63 @@
+"""The master's per-slave data structure (§4.2).
+
+"The data structure used by the master process is an array of P entries.
+The entry i corresponds to informations given to or by the slave processor i
+and contains four items: the search strategy (three values) (St_i), the
+initial solution used by the slave (S_i), the B best solutions found by the
+slave i (best_i), and the score of the slave i (score_i)."
+
+:class:`SlaveEntry` is that entry, plus the two counters the ISP/SGP rules
+need (rounds since the slave's best last changed, and the round the score
+was last reset) — bookkeeping the paper implies but does not name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.solution import Solution
+from ..core.strategy import Strategy
+
+__all__ = ["SlaveEntry", "INITIAL_SCORE"]
+
+#: "Initially, the parameter score_i is set to a predetermined value (four
+#: in the actual version)."
+INITIAL_SCORE = 4
+
+
+@dataclass
+class SlaveEntry:
+    """Master-side record for one slave processor."""
+
+    slave_id: int
+    strategy: Strategy
+    init_solution: Solution
+    best_solutions: list[Solution] = field(default_factory=list)
+    score: int = INITIAL_SCORE
+    #: rounds since this slave's best solution last changed (ISP rule 2)
+    stagnant_rounds: int = 0
+    #: total strategy regenerations (diagnostics for the A3/A6 ablations)
+    regenerations: int = 0
+
+    @property
+    def best(self) -> Solution | None:
+        """The slave's best solution so far (``best_solutions`` is sorted)."""
+        return self.best_solutions[0] if self.best_solutions else None
+
+    def absorb_elite(self, elite: list[Solution], capacity: int) -> bool:
+        """Merge a round's elite list into the entry; True if best improved.
+
+        Keeps the top ``capacity`` distinct solutions across rounds so the
+        SGP's dispersion statistic reflects the slave's recent history.
+        """
+        previous_best = self.best.value if self.best is not None else float("-inf")
+        seen = {s.x.tobytes() for s in self.best_solutions}
+        for sol in elite:
+            key = sol.x.tobytes()
+            if key not in seen:
+                self.best_solutions.append(sol)
+                seen.add(key)
+        self.best_solutions.sort(key=lambda s: -s.value)
+        del self.best_solutions[capacity:]
+        new_best = self.best.value if self.best is not None else float("-inf")
+        return new_best > previous_best

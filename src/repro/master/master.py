@@ -1,0 +1,374 @@
+"""The master process (Figure 2) with farm-time accounting.
+
+::
+
+    Procedure Master_Process(P, Nb_search_it)
+        Read and send to slaves problem data
+        For i = 1 to Nb_search_it do
+            Call SGP(P, Data_struc) and ISP(P, Data_struc)
+            Send initial solutions and strategies to slaves
+            Receive from each slave its B best solutions
+
+Cooperation is switchable so that one driver realises all four evaluated
+approaches (Table 2):
+
+===========  =============  =================
+variant      communicate    adapt_strategies
+===========  =============  =================
+ITS          no             no
+CTS1         yes            no
+CTS2         yes            yes
+===========  =============  =================
+
+(SEQ is the degenerate ``P = 1`` single-round case, provided by
+``repro.variants.seq`` without a master.)
+
+When a :class:`~repro.farm.FarmModel` is attached, the master charges every
+scatter, compute burst, gather and barrier wait to a
+:class:`~repro.farm.VirtualClock` and logs a :class:`~repro.farm.FarmTrace`;
+"execution time" then means deterministic virtual seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.construction import random_solution
+from ..core.instance import MKPInstance
+from ..core.solution import Solution
+from ..core.strategy import StrategyBounds
+from ..core.tabu_search import TabuSearchConfig
+from ..core.termination import Budget
+from ..farm.clock import VirtualClock
+from ..farm.machine import FarmModel
+from ..farm.trace import EventKind, FarmTrace
+from ..parallel.backends import Backend
+from ..parallel.message import SlaveReport, SlaveTask
+from ..rng import derive_rng, make_rng, random_seed_from
+from .datastruct import SlaveEntry
+from .isp import AlphaController, ISPConfig, generate_initial_solutions
+from .result import ParallelRunResult, RoundStats
+from .sgp import SGPConfig, update_strategies
+
+__all__ = ["MasterConfig", "MasterProcess"]
+
+
+@dataclass(frozen=True)
+class MasterConfig:
+    """Everything that parameterizes a master-driven run."""
+
+    n_slaves: int = 16
+    n_rounds: int = 10
+    communicate: bool = True
+    adapt_strategies: bool = True
+    isp: ISPConfig = field(default_factory=ISPConfig)
+    sgp: SGPConfig = field(default_factory=SGPConfig)
+    bounds: StrategyBounds = field(default_factory=StrategyBounds)
+    ts_config: TabuSearchConfig = field(default_factory=TabuSearchConfig)
+    #: per-slave elite pool size retained by the master across rounds
+    elite_capacity: int = 8
+    #: adapt alpha dynamically (macro int/div; ignored if not communicate)
+    dynamic_alpha: bool = True
+    #: explicit starting strategies (one per slave); ``None`` = random from
+    #: ``bounds``.  Lets experiments hand every slave a deliberately bad
+    #: strategy and watch the SGP recover (the paper's §4.2 claim that the
+    #: master "unloads the user from the task of finding the efficient TS
+    #: parameters").
+    initial_strategies: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.n_slaves < 1:
+            raise ValueError("n_slaves must be >= 1")
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if self.elite_capacity < 1:
+            raise ValueError("elite_capacity must be >= 1")
+        if self.initial_strategies and len(self.initial_strategies) != self.n_slaves:
+            raise ValueError(
+                f"initial_strategies must have one entry per slave "
+                f"({self.n_slaves}); got {len(self.initial_strategies)}"
+            )
+
+
+class MasterProcess:
+    """Runs the Figure-2 loop over a :class:`~repro.parallel.Backend`."""
+
+    def __init__(
+        self,
+        instance: MKPInstance,
+        config: MasterConfig,
+        backend: Backend,
+        rng_seed: int = 0,
+        farm: FarmModel | None = None,
+        variant_name: str | None = None,
+    ) -> None:
+        if backend.n_slaves != config.n_slaves:
+            raise ValueError(
+                f"backend has {backend.n_slaves} slaves but config expects "
+                f"{config.n_slaves}"
+            )
+        self.instance = instance
+        self.config = config
+        self.backend = backend
+        self.rng_seed = int(rng_seed)
+        self.rng = make_rng(self.rng_seed)
+        self.farm = farm
+        self.variant_name = variant_name or (
+            "CTS2"
+            if config.communicate and config.adapt_strategies
+            else "CTS1"
+            if config.communicate
+            else "ITS"
+        )
+        self.alpha_controller = AlphaController(
+            alpha=config.isp.alpha,
+        )
+        self._phase_trace: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, budget_per_slave: Budget | None = None) -> ParallelRunResult:
+        """Execute ``n_rounds`` search iterations and return the result.
+
+        ``budget_per_slave`` caps each slave's *total* work across all
+        rounds; each round receives an equal share.  ``None`` runs purely
+        structural budgets (``Nb_div``/``Nb_it`` loops only).
+        """
+        t_wall0 = time.perf_counter()
+        cfg = self.config
+        clock = VirtualClock(cfg.n_slaves + 1) if self.farm else None
+        trace = FarmTrace() if self.farm else None
+        master_rank = cfg.n_slaves
+
+        # --- Fig. 2 line 1: distribute problem data ---------------------
+        self._note("distribute_problem")
+        self.backend.start(self.instance, cfg.ts_config)
+
+        # --- initial entries: random solutions + random strategies ------
+        entries: list[SlaveEntry] = []
+        for k in range(cfg.n_slaves):
+            strategy = (
+                cfg.initial_strategies[k]
+                if cfg.initial_strategies
+                else cfg.bounds.random(self.rng)
+            )
+            entries.append(
+                SlaveEntry(
+                    slave_id=k,
+                    strategy=strategy,
+                    init_solution=random_solution(
+                        self.instance, derive_rng(self.rng_seed, 0, k)
+                    ),
+                )
+            )
+        global_best: Solution = max(
+            (e.init_solution for e in entries), key=lambda s: s.value
+        )
+
+        rounds: list[RoundStats] = []
+        value_history: list[float] = [global_best.value]
+        total_evaluations = 0
+        bytes_sent = 0
+
+        for round_idx in range(cfg.n_rounds):
+            # --- Fig. 2: Call SGP and ISP, send, receive ----------------
+            round_budget = (
+                None
+                if budget_per_slave is None
+                else budget_per_slave.scaled(1.0 / cfg.n_rounds)
+            )
+            tasks = []
+            for entry in entries:
+                seed = random_seed_from(derive_rng(self.rng_seed, 1 + round_idx, entry.slave_id))
+                tasks.append(
+                    SlaveTask(
+                        x_init=entry.init_solution,
+                        strategy=entry.strategy,
+                        budget=round_budget if round_budget is not None else Budget.unlimited(),
+                        seed=seed,
+                        round_index=round_idx,
+                    )
+                )
+            self._note("send_tasks")
+            reports = self.backend.run_round(tasks)
+            self._note("receive_reports")
+
+            # --- farm time accounting -----------------------------------
+            round_seconds, comm_seconds, slave_seconds = self._charge_round(
+                clock, trace, reports
+            )
+            task_nbytes = getattr(self.backend, "last_task_nbytes", [])
+            report_nbytes = getattr(self.backend, "last_report_nbytes", [])
+            bytes_sent += sum(task_nbytes) + sum(report_nbytes)
+
+            # --- fold results into the data structure -------------------
+            improved_slaves = 0
+            for entry, report in zip(entries, reports):
+                changed = entry.absorb_elite(
+                    [report.best, *report.elite], cfg.elite_capacity
+                )
+                if changed:
+                    entry.stagnant_rounds = 0
+                    improved_slaves += 1
+                else:
+                    entry.stagnant_rounds += 1
+            round_best = max(reports, key=lambda r: r.best.value).best
+            global_improved = round_best.value > global_best.value
+            if global_improved:
+                global_best = round_best
+            total_evaluations += sum(r.evaluations for r in reports)
+            value_history.append(global_best.value)
+
+            # --- SGP -----------------------------------------------------
+            sgp_actions: Counter[str] = Counter()
+            if cfg.adapt_strategies:
+                self._note("sgp")
+                decisions = update_strategies(
+                    entries,
+                    reports,
+                    cfg.bounds,
+                    cfg.sgp,
+                    self.instance.n_items,
+                    self.rng,
+                )
+                sgp_actions = Counter(d.action for d in decisions)
+
+            # --- ISP -----------------------------------------------------
+            isp_rules: Counter[str] = Counter()
+            if cfg.communicate:
+                self._note("isp")
+                if cfg.dynamic_alpha:
+                    alpha = self.alpha_controller.update(global_improved)
+                else:
+                    alpha = cfg.isp.alpha
+                isp_config = ISPConfig(
+                    alpha=alpha, stagnation_limit=cfg.isp.stagnation_limit
+                )
+                decisions = generate_initial_solutions(
+                    entries, global_best, self.instance, isp_config, self.rng
+                )
+                isp_rules = Counter(d.rule for d in decisions)
+            else:
+                # Independent threads: each continues from its own best.
+                for entry in entries:
+                    own = entry.best
+                    if own is not None:
+                        entry.init_solution = own
+                isp_rules = Counter({"keep": cfg.n_slaves})
+
+            rounds.append(
+                RoundStats(
+                    round_index=round_idx,
+                    best_value=global_best.value,
+                    round_virtual_seconds=round_seconds,
+                    slave_virtual_seconds=slave_seconds,
+                    communication_seconds=comm_seconds,
+                    evaluations=sum(r.evaluations for r in reports),
+                    improved_slaves=improved_slaves,
+                    isp_rules=dict(isp_rules),
+                    sgp_actions=dict(sgp_actions),
+                )
+            )
+
+            # Early exit once the target objective is reached (time-to-
+            # target experiments) — launching further rounds would only
+            # inflate the reported makespan.
+            if (
+                budget_per_slave is not None
+                and budget_per_slave.target_value is not None
+                and global_best.value >= budget_per_slave.target_value
+            ):
+                break
+
+        return ParallelRunResult(
+            variant=self.variant_name,
+            best=global_best,
+            rounds=rounds,
+            total_evaluations=total_evaluations,
+            virtual_seconds=clock.now if clock else 0.0,
+            wall_seconds=time.perf_counter() - t_wall0,
+            n_slaves=cfg.n_slaves,
+            trace=trace,
+            bytes_sent=bytes_sent,
+            value_history=value_history,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _charge_round(
+        self,
+        clock: VirtualClock | None,
+        trace: FarmTrace | None,
+        reports: list[SlaveReport],
+    ) -> tuple[float, float, list[float]]:
+        """Charge one round to the virtual clock; returns time aggregates.
+
+        Sequence per the synchronous scheme: the master serially scatters
+        the P task messages, every slave computes, serially reports back,
+        and all slaves then wait at the barrier for the next round.
+        """
+        m = self.instance.n_constraints
+        if self.farm is None or clock is None or trace is None:
+            slave_seconds = [0.0 for _ in reports]
+            return 0.0, 0.0, slave_seconds
+
+        master_rank = self.config.n_slaves
+        t_round_start = clock.now
+        task_nbytes = getattr(self.backend, "last_task_nbytes", None) or [
+            0 for _ in reports
+        ]
+        report_nbytes = getattr(self.backend, "last_report_nbytes", None) or [
+            0 for _ in reports
+        ]
+
+        # Scatter: the master's outgoing link serializes the P sends.
+        for k, nbytes in enumerate(task_nbytes):
+            dt = self.farm.transfer_seconds(nbytes)
+            t0 = clock.time_of(master_rank)
+            clock.advance(master_rank, dt)
+            trace.record(master_rank, EventKind.SEND, t0, t0 + dt, f"task->{k}")
+            # Slave k cannot start before its task arrives.
+            clock.wait_until(k, clock.time_of(master_rank))
+
+        # Compute: each slave burns its evaluation count (at its own speed
+        # when the farm is heterogeneous).
+        slave_seconds = []
+        for k, report in enumerate(reports):
+            dt = self.farm.compute_seconds_on(k, report.evaluations, m)
+            t0 = clock.time_of(k)
+            clock.advance(k, dt)
+            trace.record(k, EventKind.COMPUTE, t0, t0 + dt, f"round-search")
+            slave_seconds.append(dt)
+
+        # Gather: the master's incoming link serializes; it can only start
+        # receiving from slave k once k has finished.
+        comm_seconds = sum(self.farm.transfer_seconds(b) for b in task_nbytes)
+        for k, nbytes in enumerate(report_nbytes):
+            dt = self.farm.transfer_seconds(nbytes)
+            start = max(clock.time_of(master_rank), clock.time_of(k))
+            clock.wait_until(master_rank, start)
+            t0 = clock.time_of(master_rank)
+            clock.advance(master_rank, dt)
+            trace.record(k, EventKind.SEND, t0, t0 + dt, f"report<-{k}")
+            comm_seconds += dt
+
+        # Barrier: every slave waits for the master to finish the round.
+        barrier_time = clock.time_of(master_rank)
+        for k in range(self.config.n_slaves):
+            idle = clock.wait_until(k, barrier_time)
+            if idle > 0:
+                trace.record(
+                    k, EventKind.BARRIER_WAIT, barrier_time - idle, barrier_time, "barrier"
+                )
+        return clock.now - t_round_start, comm_seconds, slave_seconds
+
+    # ------------------------------------------------------------------ #
+    # Conformance tracing (Figure 2)
+    # ------------------------------------------------------------------ #
+    def enable_phase_trace(self) -> list[str]:
+        self._phase_trace = []
+        return self._phase_trace
+
+    def _note(self, label: str) -> None:
+        if self._phase_trace is not None:
+            self._phase_trace.append(label)

@@ -1,0 +1,71 @@
+"""Result records for parallel (and sequential) runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.solution import Solution
+from ..farm.trace import FarmTrace
+
+__all__ = ["RoundStats", "ParallelRunResult"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round aggregate of one master search iteration."""
+
+    round_index: int
+    best_value: float
+    round_virtual_seconds: float
+    slave_virtual_seconds: list[float]
+    communication_seconds: float
+    evaluations: int
+    improved_slaves: int
+    isp_rules: dict[str, int] = field(default_factory=dict)
+    sgp_actions: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of a full run of any of the SEQ/ITS/CTS variants.
+
+    ``virtual_seconds`` is the simulated-farm makespan (0.0 when no farm
+    model was attached, e.g. pure wall-clock multiprocessing runs).
+    """
+
+    variant: str
+    best: Solution
+    rounds: list[RoundStats]
+    total_evaluations: int
+    virtual_seconds: float
+    wall_seconds: float
+    n_slaves: int
+    trace: FarmTrace | None = None
+    bytes_sent: int = 0
+    value_history: list[float] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def best_value_at(self, virtual_second: float) -> float:
+        """Best value known at a given virtual time (anytime curves)."""
+        best = float("-inf")
+        elapsed = 0.0
+        for stats in self.rounds:
+            elapsed += stats.round_virtual_seconds
+            if elapsed > virtual_second:
+                break
+            best = max(best, stats.best_value)
+        if best == float("-inf") and self.rounds:
+            best = self.rounds[0].best_value
+        return best
+
+    def summary(self) -> str:
+        """One-line human-readable summary for example scripts."""
+        return (
+            f"{self.variant}: best={self.best.value:g} "
+            f"rounds={self.n_rounds} slaves={self.n_slaves} "
+            f"evals={self.total_evaluations} "
+            f"vtime={self.virtual_seconds:.3f}s wall={self.wall_seconds:.3f}s"
+        )

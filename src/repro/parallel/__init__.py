@@ -1,0 +1,28 @@
+"""Message-passing substrate: PVM/MPI-style comm + execution backends."""
+
+from .backends import Backend, MultiprocessingBackend, SerialBackend
+from .comm import Comm, InProcComm, MessageRouter, PipeComm
+from .message import (
+    PROBLEM_TAG,
+    RESULT_TAG,
+    SlaveReport,
+    SlaveTask,
+    payload_nbytes,
+)
+from .slave import execute_task
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "Comm",
+    "InProcComm",
+    "PipeComm",
+    "MessageRouter",
+    "SlaveTask",
+    "SlaveReport",
+    "payload_nbytes",
+    "execute_task",
+    "PROBLEM_TAG",
+    "RESULT_TAG",
+]

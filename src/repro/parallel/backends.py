@@ -1,0 +1,213 @@
+"""Execution backends for one master–slave search round.
+
+A *backend* places ``P`` slave tasks, executes them, and returns the ``P``
+reports in slave order.  Three implementations:
+
+:class:`SerialBackend`
+    Runs slaves inline, one after the other, but still routes every task
+    and report through the :class:`~repro.parallel.comm.MessageRouter`, so
+    the communication pattern (and its byte volume) is identical to a real
+    run.  This is also the engine of the *simulated farm*: the master
+    driver converts the reports' evaluation counts and the router's byte
+    counts into virtual time.
+
+:class:`MultiprocessingBackend`
+    Persistent worker processes connected by private duplex pipes, speaking
+    the same tagged message protocol via :class:`~repro.parallel.comm.PipeComm`.
+    This is the real-parallelism path (the Python GIL forces processes, not
+    threads — see DESIGN.md).
+
+Both produce bit-identical reports for identical tasks (same seeds), which
+``tests/test_backend_equivalence.py`` asserts — the property that makes the
+simulated results transferable to real parallel hardware.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Protocol, Sequence
+
+from ..core.instance import MKPInstance
+from ..core.tabu_search import TabuSearchConfig
+from .comm import InProcComm, MessageRouter, PipeComm
+from .message import RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
+from .slave import execute_task
+
+__all__ = ["Backend", "SerialBackend", "MultiprocessingBackend"]
+
+
+class Backend(Protocol):
+    """Round-based slave executor."""
+
+    n_slaves: int
+
+    def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        """Distribute the problem data (Fig. 2: 'Read and send to slaves')."""
+        ...  # pragma: no cover
+
+    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
+        """Execute one synchronous search round."""
+        ...  # pragma: no cover
+
+    def shutdown(self) -> None:
+        """Release workers/resources."""
+        ...  # pragma: no cover
+
+
+class SerialBackend:
+    """In-process backend; the substrate of the simulated farm.
+
+    Rank convention: slaves are ranks ``0..P-1``, the master is rank ``P``.
+    """
+
+    def __init__(self, n_slaves: int) -> None:
+        if n_slaves < 1:
+            raise ValueError("n_slaves must be >= 1")
+        self.n_slaves = int(n_slaves)
+        self.router = MessageRouter()
+        self.master_comm = InProcComm(self.router, rank=n_slaves)
+        self._slave_comms = [InProcComm(self.router, rank=k) for k in range(n_slaves)]
+        self._instance: MKPInstance | None = None
+        self._config: TabuSearchConfig | None = None
+        #: per-round message sizes, for the farm's scatter/gather model
+        self.last_task_nbytes: list[int] = []
+        self.last_report_nbytes: list[int] = []
+
+    def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        self._instance = instance
+        self._config = config
+
+    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
+        if self._instance is None or self._config is None:
+            raise RuntimeError("backend not started: call start() first")
+        if len(tasks) != self.n_slaves:
+            raise ValueError(f"expected {self.n_slaves} tasks; got {len(tasks)}")
+        self.last_task_nbytes = []
+        self.last_report_nbytes = []
+        # Scatter phase: master -> slaves.
+        for k, task in enumerate(tasks):
+            self.master_comm.send(task, dest=k, tag=TASK_TAG)
+            self.last_task_nbytes.append(self.master_comm.last_payload_nbytes)
+        # Compute + report phase (inline execution).
+        for k in range(self.n_slaves):
+            task = self._slave_comms[k].recv(source=self.n_slaves, tag=TASK_TAG)
+            report = execute_task(self._instance, self._config, task, slave_id=k)
+            self._slave_comms[k].send(report, dest=self.n_slaves, tag=RESULT_TAG)
+        # Gather phase: master <- slaves.
+        reports: list[SlaveReport] = []
+        for k in range(self.n_slaves):
+            report = self.master_comm.recv(source=k, tag=RESULT_TAG)
+            self.last_report_nbytes.append(self.master_comm.last_payload_nbytes)
+            reports.append(report)
+        reports.sort(key=lambda r: r.slave_id)
+        return reports
+
+    def shutdown(self) -> None:
+        """Nothing to release for the in-process backend."""
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+def _worker_main(
+    conn: "mp.connection.Connection",
+    instance: MKPInstance,
+    config: TabuSearchConfig,
+    slave_id: int,
+) -> None:
+    """Worker process entry point: serve tasks until the stop sentinel."""
+    comm = PipeComm(conn)
+    try:
+        while True:
+            tag, obj = conn.recv()
+            if tag == STOP_TAG:
+                return
+            if tag != TASK_TAG:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"worker {slave_id}: unexpected tag {tag}")
+            report = execute_task(instance, config, obj, slave_id=slave_id)
+            comm.send(report, tag=RESULT_TAG)
+    finally:
+        conn.close()
+
+
+class MultiprocessingBackend:
+    """Real process-parallel backend (PVM stand-in; mpi4py idiom over pipes).
+
+    Workers are forked once per run and reused across rounds, so the
+    problem data crosses the process boundary a single time — the same
+    optimization the paper's master applies ("Read and send to slaves
+    problem data" once, outside the round loop).
+    """
+
+    def __init__(self, n_slaves: int, *, mp_context: str = "fork") -> None:
+        if n_slaves < 1:
+            raise ValueError("n_slaves must be >= 1")
+        self.n_slaves = int(n_slaves)
+        self._ctx = mp.get_context(mp_context)
+        self._procs: list[mp.Process] = []
+        self._comms: list[PipeComm] = []
+        self.last_task_nbytes: list[int] = []
+        self.last_report_nbytes: list[int] = []
+
+    def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        if self._procs:
+            raise RuntimeError("backend already started")
+        for k in range(self.n_slaves):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, instance, config, k),
+                daemon=True,
+                name=f"repro-slave-{k}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._comms.append(PipeComm(parent_conn))
+
+    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
+        if not self._procs:
+            raise RuntimeError("backend not started: call start() first")
+        if len(tasks) != self.n_slaves:
+            raise ValueError(f"expected {self.n_slaves} tasks; got {len(tasks)}")
+        self.last_task_nbytes = []
+        self.last_report_nbytes = []
+        # Scatter: non-blocking from the master's perspective (pipes buffer).
+        for k, task in enumerate(tasks):
+            before = self._comms[k].bytes_sent
+            self._comms[k].send(task, tag=TASK_TAG)
+            self.last_task_nbytes.append(self._comms[k].bytes_sent - before)
+        # Gather: blocks until every slave reports (the Fig. 2 barrier).
+        reports: list[SlaveReport] = []
+        for k in range(self.n_slaves):
+            before = self._comms[k].bytes_received
+            report = self._comms[k].recv(tag=RESULT_TAG)
+            self.last_report_nbytes.append(self._comms[k].bytes_received - before)
+            reports.append(report)
+        reports.sort(key=lambda r: r.slave_id)
+        return reports
+
+    def shutdown(self) -> None:
+        for comm in self._comms:
+            try:
+                comm.send(None, tag=STOP_TAG)
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        for comm in self._comms:
+            comm.close()
+        self._procs.clear()
+        self._comms.clear()
+
+    def __enter__(self) -> "MultiprocessingBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

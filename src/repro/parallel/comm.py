@@ -1,0 +1,139 @@
+"""Point-to-point communication in the mpi4py idiom.
+
+The guides' mpi4py tutorial fixes the API shape we mirror: lowercase
+``send(obj, dest, tag)`` / ``recv(source, tag)`` moving pickled Python
+objects.  Two realisations:
+
+:class:`InProcComm`
+    Per-(endpoint, tag) FIFO queues inside one process.  Used by the serial
+    and simulated backends; :attr:`InProcComm.bytes_sent` feeds the farm's
+    crossbar cost model.
+
+:class:`PipeComm`
+    A thin wrapper over a ``multiprocessing`` duplex pipe, giving worker
+    processes the same two-method surface.
+
+Both enforce *message conservation*: every ``recv`` returns an object that
+was ``send``-ed exactly once (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Protocol
+
+from .message import payload_nbytes
+
+__all__ = ["Comm", "InProcComm", "PipeComm", "MessageRouter"]
+
+
+class Comm(Protocol):
+    """Minimal point-to-point protocol (mpi4py lowercase subset)."""
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:  # pragma: no cover
+        ...
+
+    def recv(self, source: int, tag: int = 0) -> Any:  # pragma: no cover
+        ...
+
+
+class MessageRouter:
+    """Shared mailbox fabric for a set of in-process endpoints.
+
+    Endpoint ``r``'s inbox for tag ``t`` is keyed ``(r, t)``.  The router
+    also keeps byte counters per (src, dest) pair so the simulated farm can
+    charge the exact traffic to the crossbar.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[tuple[int, int], deque[Any]] = defaultdict(deque)
+        self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+        self.messages_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+
+    def push(self, src: int, dest: int, tag: int, obj: Any) -> int:
+        """Enqueue and return the charged payload size in bytes."""
+        nbytes = payload_nbytes(obj)
+        self._queues[(dest, tag)].append(obj)
+        self.bytes_by_pair[(src, dest)] += nbytes
+        self.messages_by_pair[(src, dest)] += 1
+        return nbytes
+
+    def pop(self, dest: int, tag: int) -> Any:
+        queue = self._queues[(dest, tag)]
+        if not queue:
+            raise RuntimeError(
+                f"recv on empty mailbox: endpoint {dest}, tag {tag} "
+                "(in-process comm is synchronous; send before recv)"
+            )
+        return queue.popleft()
+
+    def pending(self, dest: int, tag: int) -> int:
+        return len(self._queues[(dest, tag)])
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_pair.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_pair.values())
+
+
+class InProcComm:
+    """One endpoint (rank) attached to a :class:`MessageRouter`."""
+
+    def __init__(self, router: MessageRouter, rank: int) -> None:
+        self.router = router
+        self.rank = int(rank)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_payload_nbytes = 0
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        nbytes = self.router.push(self.rank, dest, tag, obj)
+        self.bytes_sent += nbytes
+        self.last_payload_nbytes = nbytes
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        # ``source`` is advisory for in-process FIFOs (single mailbox per
+        # (dest, tag)); kept for API parity with MPI.
+        obj = self.router.pop(self.rank, tag)
+        nbytes = payload_nbytes(obj)
+        self.bytes_received += nbytes
+        self.last_payload_nbytes = nbytes
+        return obj
+
+    def probe(self, tag: int = 0) -> bool:
+        """Non-blocking check whether a message is waiting (iprobe)."""
+        return self.router.pending(self.rank, tag) > 0
+
+
+class PipeComm:
+    """mpi4py-style facade over one end of a ``multiprocessing`` pipe.
+
+    Each master↔worker pair owns a private duplex pipe, so ``dest`` /
+    ``source`` are fixed by construction and the arguments are accepted
+    only for API parity.  Messages are framed as ``(tag, obj)``; a recv
+    with a mismatched tag is a protocol error, loudly reported.
+    """
+
+    def __init__(self, connection: Any) -> None:
+        self._conn = connection
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, obj: Any, dest: int = 0, tag: int = 0) -> None:
+        self.bytes_sent += payload_nbytes(obj)
+        self._conn.send((tag, obj))
+
+    def recv(self, source: int = 0, tag: int = 0) -> Any:
+        got_tag, obj = self._conn.recv()
+        if got_tag != tag:
+            raise RuntimeError(
+                f"protocol error: expected message tag {tag}, received {got_tag}"
+            )
+        self.bytes_received += payload_nbytes(obj)
+        return obj
+
+    def close(self) -> None:
+        self._conn.close()

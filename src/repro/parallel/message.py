@@ -1,0 +1,73 @@
+"""Message types exchanged between the master and slave processes.
+
+One search round of the synchronous scheme (Fig. 2) is two messages per
+slave: a :class:`SlaveTask` down (initial solution + strategy + budget +
+seed) and a :class:`SlaveReport` back up (the ``B`` best solutions plus the
+scoring/accounting signals).  Both are plain picklable dataclasses so the
+same objects travel over an in-process deque, a ``multiprocessing`` pipe, or
+— in the simulated farm — feed the byte-size cost model via
+:func:`payload_nbytes`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from ..core.solution import Solution
+from ..core.strategy import Strategy
+from ..core.termination import Budget
+
+__all__ = ["SlaveTask", "SlaveReport", "payload_nbytes", "PROBLEM_TAG", "RESULT_TAG"]
+
+#: Message tags, mirroring the mpi4py ``tag`` convention.
+PROBLEM_TAG = 0
+TASK_TAG = 1
+RESULT_TAG = 2
+STOP_TAG = 99
+
+
+@dataclass(frozen=True)
+class SlaveTask:
+    """What the master hands a slave for one search round.
+
+    ``seed`` replaces shipping generator state across process boundaries
+    (see :mod:`repro.rng`); ``round_index`` is carried for tracing only.
+    """
+
+    x_init: Solution
+    strategy: Strategy
+    budget: Budget
+    seed: int
+    round_index: int = 0
+
+
+@dataclass(frozen=True)
+class SlaveReport:
+    """What a slave returns after one search round.
+
+    Carries everything the master's data structure needs (§4.2): the ``B``
+    best solutions, the final best, the initial cost (for the ±1 scoring),
+    and the evaluation count the farm model converts into virtual time.
+    """
+
+    slave_id: int
+    best: Solution
+    elite: list[Solution] = field(default_factory=list)
+    initial_value: float = 0.0
+    evaluations: int = 0
+    moves: int = 0
+
+    @property
+    def improved(self) -> bool:
+        """§4.2 scoring signal: final cost strictly above initial cost."""
+        return self.best.value > self.initial_value
+
+
+def payload_nbytes(obj: object) -> int:
+    """Serialized size of a message, as charged to the crossbar model.
+
+    We charge the *actual* pickle size rather than an analytic estimate so
+    the communication cost tracks what PVM would really pack.
+    """
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

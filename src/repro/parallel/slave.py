@@ -1,0 +1,40 @@
+"""The slave-side work function: one tabu-search round.
+
+Exactly one place turns a :class:`~repro.parallel.message.SlaveTask` into a
+:class:`~repro.parallel.message.SlaveReport`, shared by every backend, so
+serial, simulated and multiprocessing executions of the same task are
+bit-identical (given the same seed) — which the backend-equivalence
+integration test asserts.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import MKPInstance
+from ..core.tabu_search import TabuSearch, TabuSearchConfig
+from .message import SlaveReport, SlaveTask
+
+__all__ = ["execute_task"]
+
+
+def execute_task(
+    instance: MKPInstance,
+    config: TabuSearchConfig,
+    task: SlaveTask,
+    slave_id: int,
+) -> SlaveReport:
+    """Run one tabu-search round and package the report."""
+    thread = TabuSearch(
+        instance,
+        task.strategy,
+        config=config,
+        rng=task.seed,
+    )
+    result = thread.run(x_init=task.x_init, budget=task.budget)
+    return SlaveReport(
+        slave_id=slave_id,
+        best=result.best,
+        elite=result.elite,
+        initial_value=result.initial_value,
+        evaluations=result.evaluations,
+        moves=result.moves,
+    )

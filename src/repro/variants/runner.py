@@ -1,0 +1,287 @@
+"""Drivers for the four approaches compared in Table 2 of the paper.
+
+-SEQ:  one sequential TS; strategy parameters and initial solution random.
+-ITS:  P independent TS threads, no communication, no parameter change.
+-CTS1: P cooperative threads, communication (ISP pooling) but fixed
+       strategy parameters.
+-CTS2: P cooperative threads, communication **and** dynamic strategy
+       parameter setting (the paper's full contribution).
+
+All four accept a common "fixed execution time" contract: either an
+explicit per-slave ``max_evaluations``, or ``virtual_seconds`` which the
+attached :class:`~repro.farm.FarmModel` converts into an evaluation budget
+(SEQ runs its single thread on one simulated processor, each slave of the
+parallel variants runs on its own processor — same wall time, P× the total
+work, exactly the Table 2 regime).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.construction import random_solution
+from ..core.instance import MKPInstance
+from ..core.strategy import StrategyBounds
+from ..core.tabu_search import TabuSearch, TabuSearchConfig
+from ..core.termination import Budget
+from ..farm.machine import ALPHA_FARM, FarmModel
+from ..farm.trace import EventKind, FarmTrace
+from ..master.master import MasterConfig, MasterProcess
+from ..master.result import ParallelRunResult, RoundStats
+from ..parallel.backends import Backend, SerialBackend
+from ..rng import derive_rng, make_rng
+
+__all__ = [
+    "solve_seq",
+    "solve_its",
+    "solve_cts1",
+    "solve_cts2",
+    "budget_for_virtual_seconds",
+]
+
+
+def budget_for_virtual_seconds(
+    instance: MKPInstance, seconds: float, farm: FarmModel = ALPHA_FARM
+) -> Budget:
+    """Per-processor evaluation budget equivalent to ``seconds`` on ``farm``."""
+    evals = farm.processor.evaluations_for_seconds(seconds, instance.n_constraints)
+    return Budget(max_evaluations=evals)
+
+
+def _resolve_budget(
+    instance: MKPInstance,
+    farm: FarmModel,
+    max_evaluations: int | None,
+    virtual_seconds: float | None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> Budget:
+    given = [b is not None for b in (max_evaluations, virtual_seconds, wall_seconds)]
+    if sum(given) != 1:
+        raise ValueError(
+            "specify exactly one of max_evaluations / virtual_seconds / wall_seconds"
+        )
+    if max_evaluations is not None:
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        return Budget(max_evaluations=max_evaluations, target_value=target_value)
+    if wall_seconds is not None:
+        # Real elapsed time per slave round; meaningful with the
+        # multiprocessing backend where slaves run concurrently.
+        if wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive")
+        return Budget(wall_seconds=wall_seconds, target_value=target_value)
+    budget = budget_for_virtual_seconds(instance, float(virtual_seconds), farm)
+    return Budget(max_evaluations=budget.max_evaluations, target_value=target_value)
+
+
+def solve_seq(
+    instance: MKPInstance,
+    *,
+    rng_seed: int = 0,
+    max_evaluations: int | None = None,
+    virtual_seconds: float | None = None,
+    farm: FarmModel = ALPHA_FARM,
+    ts_config: TabuSearchConfig | None = None,
+    bounds: StrategyBounds | None = None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> ParallelRunResult:
+    """SEQ — one sequential TS with random strategy and initial solution.
+
+    The structural loops are made effectively unbounded so that the
+    evaluation budget, not ``Nb_div``, terminates the run (matching "for a
+    fixed execution time").  ``target_value`` stops the run early once the
+    incumbent reaches it (time-to-target experiments).
+    """
+    budget = _resolve_budget(
+        instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
+    )
+    bounds = bounds or StrategyBounds()
+    ts_config = ts_config or TabuSearchConfig(nb_div=1_000_000, bounds=bounds)
+    rng = make_rng(rng_seed)
+    strategy = bounds.random(rng)
+    x_init = random_solution(instance, derive_rng(rng_seed, 0, 0))
+
+    t0 = time.perf_counter()
+    thread = TabuSearch(instance, strategy, config=ts_config, rng=rng)
+    result = thread.run(x_init=x_init, budget=budget)
+    wall = time.perf_counter() - t0
+
+    compute = farm.compute_seconds(result.evaluations, instance.n_constraints)
+    trace = FarmTrace()
+    trace.record(0, EventKind.COMPUTE, 0.0, compute, "seq-search")
+    stats = RoundStats(
+        round_index=0,
+        best_value=result.best.value,
+        round_virtual_seconds=compute,
+        slave_virtual_seconds=[compute],
+        communication_seconds=0.0,
+        evaluations=result.evaluations,
+        improved_slaves=int(result.improved),
+    )
+    return ParallelRunResult(
+        variant="SEQ",
+        best=result.best,
+        rounds=[stats],
+        total_evaluations=result.evaluations,
+        virtual_seconds=compute,
+        wall_seconds=wall,
+        n_slaves=1,
+        trace=trace,
+        bytes_sent=0,
+        value_history=list(result.value_trace),
+    )
+
+
+def _solve_master_variant(
+    instance: MKPInstance,
+    *,
+    communicate: bool,
+    adapt_strategies: bool,
+    variant_name: str,
+    n_slaves: int,
+    n_rounds: int,
+    rng_seed: int,
+    max_evaluations: int | None,
+    virtual_seconds: float | None,
+    farm: FarmModel,
+    backend: Backend | None,
+    master_config: MasterConfig | None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> ParallelRunResult:
+    budget = _resolve_budget(
+        instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
+    )
+    if master_config is None:
+        master_config = MasterConfig(
+            n_slaves=n_slaves,
+            n_rounds=n_rounds,
+            communicate=communicate,
+            adapt_strategies=adapt_strategies,
+        )
+    owns_backend = backend is None
+    if backend is None:
+        backend = SerialBackend(master_config.n_slaves)
+    try:
+        master = MasterProcess(
+            instance,
+            master_config,
+            backend,
+            rng_seed=rng_seed,
+            farm=farm,
+            variant_name=variant_name,
+        )
+        return master.run(budget_per_slave=budget)
+    finally:
+        if owns_backend:
+            backend.shutdown()
+
+
+def solve_its(
+    instance: MKPInstance,
+    *,
+    n_slaves: int = 16,
+    n_rounds: int = 10,
+    rng_seed: int = 0,
+    max_evaluations: int | None = None,
+    virtual_seconds: float | None = None,
+    farm: FarmModel = ALPHA_FARM,
+    backend: Backend | None = None,
+    master_config: MasterConfig | None = None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> ParallelRunResult:
+    """ITS — P independent threads, no communication, fixed strategies."""
+    if master_config is not None:
+        if master_config.communicate or master_config.adapt_strategies:
+            raise ValueError("ITS requires communicate=False, adapt_strategies=False")
+    return _solve_master_variant(
+        instance,
+        communicate=False,
+        adapt_strategies=False,
+        variant_name="ITS",
+        n_slaves=n_slaves,
+        n_rounds=n_rounds,
+        rng_seed=rng_seed,
+        max_evaluations=max_evaluations,
+        virtual_seconds=virtual_seconds,
+        farm=farm,
+        backend=backend,
+        master_config=master_config,
+        target_value=target_value,
+        wall_seconds=wall_seconds,
+    )
+
+
+def solve_cts1(
+    instance: MKPInstance,
+    *,
+    n_slaves: int = 16,
+    n_rounds: int = 10,
+    rng_seed: int = 0,
+    max_evaluations: int | None = None,
+    virtual_seconds: float | None = None,
+    farm: FarmModel = ALPHA_FARM,
+    backend: Backend | None = None,
+    master_config: MasterConfig | None = None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> ParallelRunResult:
+    """CTS1 — cooperative threads (ISP pooling), fixed strategies."""
+    if master_config is not None:
+        if not master_config.communicate or master_config.adapt_strategies:
+            raise ValueError("CTS1 requires communicate=True, adapt_strategies=False")
+    return _solve_master_variant(
+        instance,
+        communicate=True,
+        adapt_strategies=False,
+        variant_name="CTS1",
+        n_slaves=n_slaves,
+        n_rounds=n_rounds,
+        rng_seed=rng_seed,
+        max_evaluations=max_evaluations,
+        virtual_seconds=virtual_seconds,
+        farm=farm,
+        backend=backend,
+        master_config=master_config,
+        target_value=target_value,
+        wall_seconds=wall_seconds,
+    )
+
+
+def solve_cts2(
+    instance: MKPInstance,
+    *,
+    n_slaves: int = 16,
+    n_rounds: int = 10,
+    rng_seed: int = 0,
+    max_evaluations: int | None = None,
+    virtual_seconds: float | None = None,
+    farm: FarmModel = ALPHA_FARM,
+    backend: Backend | None = None,
+    master_config: MasterConfig | None = None,
+    target_value: float | None = None,
+    wall_seconds: float | None = None,
+) -> ParallelRunResult:
+    """CTS2 — full cooperative parallel TS with dynamic strategy tuning."""
+    if master_config is not None:
+        if not (master_config.communicate and master_config.adapt_strategies):
+            raise ValueError("CTS2 requires communicate=True, adapt_strategies=True")
+    return _solve_master_variant(
+        instance,
+        communicate=True,
+        adapt_strategies=True,
+        variant_name="CTS2",
+        n_slaves=n_slaves,
+        n_rounds=n_rounds,
+        rng_seed=rng_seed,
+        max_evaluations=max_evaluations,
+        virtual_seconds=virtual_seconds,
+        farm=farm,
+        backend=backend,
+        master_config=master_config,
+        target_value=target_value,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MKPInstance
+from repro.instances import correlated_instance, uncorrelated_instance
+
+
+@pytest.fixture
+def tiny_instance() -> MKPInstance:
+    """A hand-checkable 2-constraint, 4-item instance.
+
+    Items: profits [10, 7, 8, 3]; optimum is {0, 2} with value 18:
+      weights row0: 5 + 4 = 9 <= 10, row1: 3 + 5 = 8 <= 8.
+    """
+    return MKPInstance.from_lists(
+        weights=[[5, 6, 4, 2], [3, 4, 5, 1]],
+        capacities=[10, 8],
+        profits=[10, 7, 8, 3],
+        name="tiny",
+        optimum=18.0,
+    )
+
+
+@pytest.fixture
+def small_instance() -> MKPInstance:
+    """A small seeded instance for fast algorithm tests (5x30)."""
+    return correlated_instance(5, 30, rng=42, name="small-5x30")
+
+
+@pytest.fixture
+def medium_instance() -> MKPInstance:
+    """A medium seeded instance (10x80)."""
+    return uncorrelated_instance(10, 80, rng=43, name="medium-10x80")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,97 @@
+"""Tests for the analysis/reporting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Table1Row,
+    Table2Row,
+    deviation_percent,
+    efficiency,
+    load_balance,
+    render_generic,
+    render_table1,
+    render_table2,
+    speedup,
+)
+from repro.farm import EventKind, FarmTrace
+
+
+class TestStats:
+    def test_deviation(self):
+        assert deviation_percent(95.0, 100.0) == pytest.approx(5.0)
+        assert deviation_percent(100.0, 100.0) == 0.0
+
+    def test_deviation_invalid_reference(self):
+        with pytest.raises(ValueError):
+            deviation_percent(5.0, 0.0)
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(10.0, 2.5) == 4.0
+        assert efficiency(10.0, 2.5, 8) == 0.5
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+    def test_load_balance(self):
+        trace = FarmTrace()
+        trace.record(0, EventKind.COMPUTE, 0.0, 3.0)
+        trace.record(1, EventKind.COMPUTE, 0.0, 1.0)
+        trace.record(1, EventKind.BARRIER_WAIT, 1.0, 3.0)
+        lb = load_balance(trace)
+        assert lb.compute_seconds == 4.0
+        assert lb.idle_seconds == 2.0
+        assert lb.idle_ratio == pytest.approx(2.0 / 6.0)
+        assert lb.imbalance == pytest.approx(3.0 / 2.0)
+
+    def test_load_balance_empty(self):
+        lb = load_balance(FarmTrace())
+        assert lb.idle_ratio == 0.0
+        assert lb.imbalance == 1.0
+
+
+class TestTableRenderers:
+    def test_table1_contains_rows(self):
+        rows = [
+            Table1Row("1to4", "3*100", 1.25, 0.1),
+            Table1Row("18to22", "25*500", 30.0, 0.9),
+        ]
+        text = render_table1(rows)
+        assert "1to4" in text and "25*500" in text
+        assert "Dev. in %" in text
+
+    def test_table2_renders_and_picks_winner(self):
+        row = Table2Row(
+            problem="MK1", seq=100, its=105, cts1=108, cts2=110, exec_time=12.0
+        )
+        assert row.winner() == "CTS2"
+        text = render_table2([row])
+        assert "MK1" in text and "CTS2" in text
+
+    def test_table2_extras(self):
+        row = Table2Row(
+            problem="MK1",
+            seq=100,
+            its=105,
+            cts1=108,
+            cts2=110,
+            exec_time=12.0,
+            extras={"CTS-async": 120.0},
+        )
+        assert row.winner() == "CTS-async"
+        assert "CTS-async" in render_table2([row])
+
+    def test_generic_table(self):
+        text = render_generic(
+            ["a", "b"], [[1, 2.34567], ["x", 0.5]], precision=2
+        )
+        assert "2.35" in text
+        assert "a" in text and "x" in text
+
+    def test_generic_table_validates_shape(self):
+        with pytest.raises(ValueError):
+            render_generic(["a"], [[1, 2]])

@@ -1,0 +1,117 @@
+"""Unit tests for the serial and multiprocessing backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Budget, Strategy, TabuSearchConfig, random_solution
+from repro.parallel import MultiprocessingBackend, SerialBackend, SlaveTask
+
+
+def make_tasks(instance, n, evals=2000):
+    tasks = []
+    for k in range(n):
+        tasks.append(
+            SlaveTask(
+                x_init=random_solution(instance, rng=k),
+                strategy=Strategy(8, 2, 10),
+                budget=Budget(max_evaluations=evals),
+                seed=1000 + k,
+                round_index=0,
+            )
+        )
+    return tasks
+
+
+class TestSerialBackend:
+    def test_round_returns_reports_in_order(self, small_instance):
+        backend = SerialBackend(3)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        reports = backend.run_round(make_tasks(small_instance, 3))
+        assert [r.slave_id for r in reports] == [0, 1, 2]
+
+    def test_requires_start(self, small_instance):
+        backend = SerialBackend(2)
+        with pytest.raises(RuntimeError, match="not started"):
+            backend.run_round(make_tasks(small_instance, 2))
+
+    def test_task_count_checked(self, small_instance):
+        backend = SerialBackend(2)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        with pytest.raises(ValueError, match="expected 2 tasks"):
+            backend.run_round(make_tasks(small_instance, 3))
+
+    def test_message_sizes_recorded(self, small_instance):
+        backend = SerialBackend(2)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        backend.run_round(make_tasks(small_instance, 2))
+        assert len(backend.last_task_nbytes) == 2
+        assert len(backend.last_report_nbytes) == 2
+        assert all(b > 0 for b in backend.last_task_nbytes)
+        assert all(b > 0 for b in backend.last_report_nbytes)
+
+    def test_reports_carry_results(self, small_instance):
+        backend = SerialBackend(2)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        tasks = make_tasks(small_instance, 2)
+        reports = backend.run_round(tasks)
+        for task, report in zip(tasks, reports):
+            assert report.best.value >= task.x_init.value
+            assert report.evaluations > 0
+            assert report.best.is_feasible(small_instance)
+
+    def test_invalid_slave_count(self):
+        with pytest.raises(ValueError):
+            SerialBackend(0)
+
+    def test_context_manager(self, small_instance):
+        with SerialBackend(1) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            backend.run_round(make_tasks(small_instance, 1))
+
+
+@pytest.mark.slow
+class TestMultiprocessingBackend:
+    def test_round_matches_serial(self, small_instance):
+        """Same tasks + same seeds => bit-identical reports across backends
+        (the property that transfers simulated results to real hardware)."""
+        config = TabuSearchConfig(nb_div=100)
+        tasks = make_tasks(small_instance, 2)
+
+        serial = SerialBackend(2)
+        serial.start(small_instance, config)
+        serial_reports = serial.run_round(tasks)
+
+        with MultiprocessingBackend(2) as mp_backend:
+            mp_backend.start(small_instance, config)
+            mp_reports = mp_backend.run_round(tasks)
+
+        for a, b in zip(serial_reports, mp_reports):
+            assert a.best == b.best
+            assert a.evaluations == b.evaluations
+            assert a.initial_value == b.initial_value
+
+    def test_multiple_rounds_reuse_workers(self, small_instance):
+        with MultiprocessingBackend(2) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            r1 = backend.run_round(make_tasks(small_instance, 2, evals=800))
+            r2 = backend.run_round(make_tasks(small_instance, 2, evals=800))
+            assert len(r1) == len(r2) == 2
+
+    def test_double_start_rejected(self, small_instance):
+        with MultiprocessingBackend(1) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            with pytest.raises(RuntimeError, match="already started"):
+                backend.start(small_instance, TabuSearchConfig(nb_div=100))
+
+    def test_requires_start(self, small_instance):
+        backend = MultiprocessingBackend(1)
+        with pytest.raises(RuntimeError, match="not started"):
+            backend.run_round(make_tasks(small_instance, 1))
+
+    def test_shutdown_idempotent(self, small_instance):
+        backend = MultiprocessingBackend(1)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        backend.run_round(make_tasks(small_instance, 1, evals=500))
+        backend.shutdown()
+        backend.shutdown()  # second call is a no-op

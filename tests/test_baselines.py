@@ -1,0 +1,194 @@
+"""Tests for the baseline algorithms (greedy, SA, reactive TS, REM, CE-TS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CriticalEventConfig,
+    REMConfig,
+    ReactiveConfig,
+    SAConfig,
+    critical_event_tabu_search,
+    density_greedy,
+    rem_tabu_search,
+    reactive_tabu_search,
+    simulated_annealing,
+    toyoda_greedy,
+)
+from repro.core import Budget, SearchState
+
+BUDGET = 15_000
+
+
+class TestGreedy:
+    def test_toyoda_feasible_and_maximal(self, small_instance):
+        sol = toyoda_greedy(small_instance)
+        assert sol.is_feasible(small_instance)
+        state = SearchState.from_solution(small_instance, sol)
+        assert state.fitting_items().size == 0
+
+    def test_toyoda_deterministic(self, small_instance):
+        assert toyoda_greedy(small_instance) == toyoda_greedy(small_instance)
+
+    def test_toyoda_competitive_with_density(self, medium_instance):
+        """Toyoda's adaptive penalties should be at least near the naive
+        density greedy on a typical instance."""
+        t = toyoda_greedy(medium_instance).value
+        d = density_greedy(medium_instance).value
+        assert t >= 0.9 * d
+
+
+class TestSimulatedAnnealing:
+    def test_respects_budget_and_feasibility(self, small_instance):
+        result = simulated_annealing(
+            small_instance, Budget(max_evaluations=BUDGET), rng=0
+        )
+        assert result.best.is_feasible(small_instance)
+        assert result.evaluations <= BUDGET + 1
+
+    def test_improves_over_random_start(self, small_instance):
+        from repro.core import random_solution
+
+        start = random_solution(small_instance, rng=11)
+        result = simulated_annealing(
+            small_instance,
+            Budget(max_evaluations=BUDGET),
+            rng=0,
+            x_init=start,
+        )
+        assert result.best.value >= start.value
+
+    def test_deterministic(self, small_instance):
+        a = simulated_annealing(small_instance, Budget(max_evaluations=BUDGET), rng=4)
+        b = simulated_annealing(small_instance, Budget(max_evaluations=BUDGET), rng=4)
+        assert a.best == b.best
+
+    def test_counters(self, small_instance):
+        result = simulated_annealing(
+            small_instance, Budget(max_evaluations=BUDGET), rng=0
+        )
+        assert result.accepted + result.rejected == result.evaluations
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SAConfig(initial_acceptance=1.0)
+        with pytest.raises(ValueError):
+            SAConfig(cooling=1.0)
+        with pytest.raises(ValueError):
+            SAConfig(steps_per_temperature=0)
+        with pytest.raises(ValueError):
+            SAConfig(min_temperature=0.0)
+
+
+class TestReactive:
+    def test_run_and_feasibility(self, small_instance):
+        result = reactive_tabu_search(
+            small_instance, Budget(max_evaluations=BUDGET), rng=0
+        )
+        assert result.best.is_feasible(small_instance)
+        assert result.moves > 0
+
+    def test_reaction_raises_tenure_on_revisits(self, tiny_instance):
+        """On a 4-item instance with a short tenure the walk must revisit
+        and react by raising the tenure."""
+        config = ReactiveConfig(initial_tenure=1, escape_after=4)
+        result = reactive_tabu_search(
+            tiny_instance, Budget(max_moves=300), rng=0, config=config
+        )
+        assert result.revisits > 0
+        assert result.final_tenure > config.initial_tenure
+
+    def test_hash_table_tracks_distinct_solutions(self, small_instance):
+        result = reactive_tabu_search(
+            small_instance, Budget(max_moves=200), rng=0
+        )
+        assert 0 < result.hash_table_size <= result.moves + 1
+
+    def test_finds_tiny_optimum(self, tiny_instance):
+        result = reactive_tabu_search(
+            tiny_instance, Budget(max_moves=300), rng=0
+        )
+        assert result.best.value == 18.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveConfig(increase=1.0)
+        with pytest.raises(ValueError):
+            ReactiveConfig(decrease=1.0)
+        with pytest.raises(ValueError):
+            ReactiveConfig(initial_tenure=0)
+        with pytest.raises(ValueError):
+            ReactiveConfig(max_tenure_fraction=0.0)
+
+
+class TestREM:
+    def test_run_and_feasibility(self, small_instance):
+        result = rem_tabu_search(small_instance, Budget(max_moves=150), rng=0)
+        assert result.best.is_feasible(small_instance)
+
+    def test_overhead_grows_linearly(self, small_instance):
+        """The §4.1 criticism: trace work ∝ iterations² overall (linear per
+        iteration)."""
+        short = rem_tabu_search(small_instance, Budget(max_moves=40), rng=0)
+        long = rem_tabu_search(small_instance, Budget(max_moves=120), rng=0)
+        assert long.running_list_length > short.running_list_length
+        # quadratic cumulative overhead: 3x moves => ~9x trace steps
+        assert long.trace_steps > 4 * short.trace_steps
+
+    def test_trace_limit_caps_overhead(self, small_instance):
+        capped = rem_tabu_search(
+            small_instance,
+            Budget(max_moves=120),
+            rng=0,
+            config=REMConfig(trace_limit=10),
+        )
+        assert capped.trace_steps <= 10 * capped.moves
+
+    def test_finds_tiny_optimum(self, tiny_instance):
+        result = rem_tabu_search(tiny_instance, Budget(max_moves=200), rng=0)
+        assert result.best.value == 18.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            REMConfig(nb_drop=0)
+        with pytest.raises(ValueError):
+            REMConfig(trace_limit=0)
+
+
+class TestCriticalEvent:
+    def test_run_and_feasibility(self, small_instance):
+        result = critical_event_tabu_search(
+            small_instance, Budget(max_evaluations=BUDGET), rng=0
+        )
+        assert result.best.is_feasible(small_instance)
+        assert result.critical_events > 0
+
+    def test_oscillation_crosses_boundary(self, small_instance):
+        result = critical_event_tabu_search(
+            small_instance, Budget(max_evaluations=BUDGET), rng=0
+        )
+        assert result.phases > 1
+
+    def test_finds_tiny_optimum(self, tiny_instance):
+        result = critical_event_tabu_search(
+            tiny_instance, Budget(max_evaluations=5_000), rng=0
+        )
+        assert result.best.value == 18.0
+
+    def test_deterministic(self, small_instance):
+        a = critical_event_tabu_search(
+            small_instance, Budget(max_evaluations=BUDGET), rng=2
+        )
+        b = critical_event_tabu_search(
+            small_instance, Budget(max_evaluations=BUDGET), rng=2
+        )
+        assert a.best == b.best
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CriticalEventConfig(tenure=-1)
+        with pytest.raises(ValueError):
+            CriticalEventConfig(initial_span=3, max_span=2)
+        with pytest.raises(ValueError):
+            CriticalEventConfig(span_increase_after=0)

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.exact.bounds`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_solution
+from repro.exact import SurrogateBound, dantzig_bound, solve_lp_relaxation
+from repro.instances import correlated_instance
+
+
+class TestLPRelaxation:
+    def test_bounds_feasible_solutions(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        assert lp.value >= greedy_solution(small_instance).value - 1e-6
+
+    def test_fractional_solution_within_box(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        assert np.all(lp.x >= -1e-9) and np.all(lp.x <= 1 + 1e-9)
+
+    def test_fractional_solution_satisfies_constraints(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        loads = small_instance.weights @ lp.x
+        assert np.all(loads <= small_instance.capacities + 1e-6)
+
+    def test_duals_nonnegative(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        assert np.all(lp.duals >= 0)
+
+    def test_exact_on_tiny(self, tiny_instance):
+        lp = solve_lp_relaxation(tiny_instance)
+        assert lp.value >= 18.0 - 1e-9  # optimum is 18
+
+
+class TestDantzig:
+    def test_simple_case(self):
+        # capacity 10: take item0 (p=6,w=4), item1 (p=5,w=5), 1/3 of item2
+        value = dantzig_bound(
+            np.array([6.0, 5.0, 3.0]), np.array([4.0, 5.0, 3.0]), 10.0
+        )
+        assert value == pytest.approx(6 + 5 + 3 * (1 / 3))
+
+    def test_all_fit(self):
+        value = dantzig_bound(np.array([1.0, 2.0]), np.array([1.0, 1.0]), 10.0)
+        assert value == 3.0
+
+    def test_nothing_fits(self):
+        value = dantzig_bound(np.array([5.0]), np.array([10.0]), 0.0)
+        assert value == 0.0
+
+    def test_negative_capacity(self):
+        assert dantzig_bound(np.array([5.0]), np.array([1.0]), -1.0) == 0.0
+
+    def test_zero_weight_items_free(self):
+        value = dantzig_bound(np.array([5.0, 7.0]), np.array([0.0, 10.0]), 0.0)
+        assert value == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dantzig_bound(np.ones(3), np.ones(2), 1.0)
+
+    def test_upper_bounds_integer_optimum(self):
+        """Dantzig >= any feasible 0/1 selection (exhaustive check, n=8)."""
+        rng = np.random.default_rng(5)
+        p = rng.integers(1, 30, 8).astype(float)
+        w = rng.integers(1, 20, 8).astype(float)
+        cap = float(w.sum() * 0.4)
+        best = 0.0
+        for mask in range(256):
+            bits = np.array([(mask >> k) & 1 for k in range(8)], dtype=float)
+            if bits @ w <= cap:
+                best = max(best, float(bits @ p))
+        assert dantzig_bound(p, w, cap) >= best - 1e-9
+
+
+class TestSurrogateBound:
+    def test_root_bound_above_heuristic(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        sb = SurrogateBound(small_instance, lp.duals)
+        assert sb.root_bound() >= greedy_solution(small_instance).value - 1e-6
+
+    def test_uniform_fallback_on_zero_duals(self, small_instance):
+        sb = SurrogateBound(
+            small_instance, np.zeros(small_instance.n_constraints)
+        )
+        assert np.all(sb.multipliers == 1.0)
+        assert sb.root_bound() > 0
+
+    def test_rejects_negative_multipliers(self, small_instance):
+        with pytest.raises(ValueError):
+            SurrogateBound(small_instance, -np.ones(small_instance.n_constraints))
+
+    def test_rejects_wrong_shape(self, small_instance):
+        with pytest.raises(ValueError):
+            SurrogateBound(small_instance, np.ones(small_instance.n_constraints + 1))
+
+    def test_bound_decreases_with_capacity(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        sb = SurrogateBound(small_instance, lp.duals)
+        full = sb.bound(0, sb.agg_capacity)
+        half = sb.bound(0, sb.agg_capacity / 2)
+        assert half <= full + 1e-9
+
+    def test_bound_decreases_with_prefix(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        sb = SurrogateBound(small_instance, lp.duals)
+        a = sb.bound(0, sb.agg_capacity)
+        b = sb.bound(5, sb.agg_capacity)
+        assert b <= a + 1e-9
+
+    def test_matches_dantzig_on_suffix(self):
+        """Surrogate bound over the full item set equals a direct Dantzig
+        computation on the aggregated constraint."""
+        inst = correlated_instance(4, 25, rng=9)
+        lp = solve_lp_relaxation(inst)
+        sb = SurrogateBound(inst, lp.duals)
+        direct = dantzig_bound(inst.profits, sb.agg_weights, sb.agg_capacity)
+        assert sb.root_bound() == pytest.approx(direct, rel=1e-9)

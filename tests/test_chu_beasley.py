@@ -1,0 +1,58 @@
+"""Tests for the Chu–Beasley extension suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import cb_cell, cb_instance, cb_suite_index
+from repro.instances.chu_beasley import CB_MS, CB_NS, CB_PER_CELL, CB_RS, CBKey
+
+
+class TestGrid:
+    def test_27_cells_270_instances(self):
+        index = cb_suite_index()
+        assert len(index) == 27
+        assert len(index) * CB_PER_CELL == 270
+
+    def test_cell_contents(self):
+        cell = cb_cell(5, 100, 0.25)
+        assert len(cell) == CB_PER_CELL
+        for inst in cell:
+            assert inst.shape == (5, 100)
+
+    def test_names(self):
+        inst = cb_instance(10, 250, 0.5, 3)
+        assert inst.name == "CB-m10-n250-r0.5-03"
+
+    def test_deterministic(self):
+        a = cb_instance(5, 100, 0.25, 0)
+        b = cb_instance(5, 100, 0.25, 0)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_all_seeds_distinct(self):
+        seeds = {
+            CBKey(m, n, r, k).seed
+            for (m, n, r) in cb_suite_index()
+            for k in range(CB_PER_CELL)
+        }
+        assert len(seeds) == 270
+
+    def test_tightness_reflected_in_capacities(self):
+        loose = cb_instance(5, 100, 0.75, 0)
+        tight = cb_instance(5, 100, 0.25, 0)
+        # Same weights (same position in grid ordering differs though), so
+        # compare capacity-to-weight ratios instead of raw values.
+        assert (loose.capacities / loose.weights.sum(axis=1)).mean() > (
+            tight.capacities / tight.weights.sum(axis=1)
+        ).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cb_instance(7, 100, 0.25, 0)
+        with pytest.raises(ValueError):
+            cb_instance(5, 123, 0.25, 0)
+        with pytest.raises(ValueError):
+            cb_instance(5, 100, 0.33, 0)
+        with pytest.raises(ValueError):
+            cb_instance(5, 100, 0.25, 10)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solve_registry_instance(self, capsys):
+        code = main(["solve", "FP05", "--variant", "seq", "--evals", "5000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SEQ" in out
+        assert "packed items" in out
+
+    def test_solve_cts2_with_trace(self, capsys):
+        code = main(
+            [
+                "solve", "FP05", "--variant", "cts2", "--slaves", "2",
+                "--rounds", "2", "--evals", "4000", "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round 0" in out
+        assert "round 1" in out
+
+    def test_solve_async(self, capsys):
+        code = main(
+            ["solve", "FP05", "--variant", "async", "--slaves", "2", "--evals", "4000"]
+        )
+        assert code == 0
+        assert "CTS-async" in capsys.readouterr().out
+
+    def test_solve_file(self, tmp_path, capsys, small_instance):
+        from repro.instances import write_instance
+
+        path = tmp_path / "prob.txt"
+        write_instance(small_instance, path)
+        code = main(["solve", str(path), "--variant", "seq", "--evals", "3000"])
+        assert code == 0
+
+    def test_unknown_instance(self):
+        with pytest.raises(SystemExit, match="neither a file nor"):
+            main(["solve", "NOPE99", "--evals", "100"])
+
+
+class TestExact:
+    def test_exact_proves_small(self, capsys):
+        code = main(["exact", "FP01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proven optimal" in out
+
+    def test_exact_node_limit_exit_code(self, capsys):
+        code = main(["exact", "MK1", "--node-limit", "10"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "node limit reached" in out
+
+
+class TestGenerateAndInfo:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.txt"
+        code = main(
+            ["generate", "3", "20", "--correlated", "--seed", "4", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        code = main(["info", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3*20" in out
+        assert "LP bound" in out
+
+    def test_suite_lists_names(self, capsys):
+        code = main(["suite"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GK01" in out and "MK5" in out and "FP57" in out
+
+    def test_info_registry(self, capsys):
+        code = main(["info", "GK01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3*10" in out

@@ -1,0 +1,33 @@
+"""Tests for the CLI report command (separate from the core CLI tests)."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, tmp_path, capsys):
+        (tmp_path / "fp57.txt").write_text("E1 MARKER", encoding="utf-8")
+        code = main(["report", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E1 MARKER" in out
+        assert "# Benchmark results" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_gk.txt").write_text("T1 MARKER", encoding="utf-8")
+        out_file = tmp_path / "REPORT.md"
+        code = main(
+            ["report", "--results-dir", str(results), "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "T1 MARKER" in out_file.read_text(encoding="utf-8")
+        assert "wrote report" in capsys.readouterr().out
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        code = main(["report", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "not yet generated" in out

@@ -1,0 +1,119 @@
+"""Unit and property tests for the message-passing layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Budget, Solution, Strategy
+from repro.parallel import (
+    InProcComm,
+    MessageRouter,
+    SlaveReport,
+    SlaveTask,
+    payload_nbytes,
+)
+
+
+class TestRouter:
+    def test_send_recv_roundtrip(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        a.send({"hello": 1}, dest=1, tag=5)
+        assert b.recv(source=0, tag=5) == {"hello": 1}
+
+    def test_fifo_order(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        for k in range(5):
+            a.send(k, dest=1, tag=0)
+        assert [b.recv(source=0) for _ in range(5)] == list(range(5))
+
+    def test_tags_isolate_streams(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        a.send("x", dest=1, tag=1)
+        a.send("y", dest=1, tag=2)
+        assert b.recv(source=0, tag=2) == "y"
+        assert b.recv(source=0, tag=1) == "x"
+
+    def test_empty_recv_raises(self):
+        router = MessageRouter()
+        b = InProcComm(router, rank=1)
+        with pytest.raises(RuntimeError, match="empty mailbox"):
+            b.recv(source=0)
+
+    def test_byte_accounting(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        payload = list(range(100))
+        a.send(payload, dest=1)
+        expected = payload_nbytes(payload)
+        assert a.bytes_sent == expected
+        assert router.total_bytes == expected
+        b.recv(source=0)
+        assert b.bytes_received == expected
+
+    def test_probe(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        assert not b.probe()
+        a.send(1, dest=1)
+        assert b.probe()
+        b.recv(source=0)
+        assert not b.probe()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 2)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_message_conservation(self, sends):
+        """Every message sent is received exactly once, in FIFO order per
+        (dest, tag) mailbox."""
+        router = MessageRouter()
+        comms = [InProcComm(router, rank=r) for r in range(4)]
+        expected: dict[tuple[int, int], list[int]] = {}
+        for idx, (src, dest, tag) in enumerate(sends):
+            comms[src].send(idx, dest=dest, tag=tag)
+            expected.setdefault((dest, tag), []).append(idx)
+        for (dest, tag), payloads in expected.items():
+            got = [comms[dest].recv(source=-1, tag=tag) for _ in payloads]
+            assert got == payloads
+        assert router.total_messages == len(sends)
+
+
+class TestMessages:
+    def test_task_pickles(self):
+        import pickle
+
+        task = SlaveTask(
+            x_init=Solution(np.array([1, 0, 1]), 5.0),
+            strategy=Strategy(10, 2, 20),
+            budget=Budget(max_evaluations=100),
+            seed=42,
+            round_index=3,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.seed == 42
+        assert clone.strategy == task.strategy
+        assert clone.x_init == task.x_init
+
+    def test_report_improved_flag(self):
+        best = Solution(np.array([1, 0]), 10.0)
+        assert SlaveReport(0, best, initial_value=9.0).improved
+        assert not SlaveReport(0, best, initial_value=10.0).improved
+
+    def test_payload_nbytes_positive_and_monotone(self):
+        small = payload_nbytes(np.zeros(10, dtype=np.int8))
+        large = payload_nbytes(np.zeros(10_000, dtype=np.int8))
+        assert 0 < small < large

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.core.diversification`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiversificationConfig,
+    History,
+    SearchState,
+    TabuList,
+    diversify,
+    greedy_solution,
+)
+
+
+def loaded_history(n: int, hot: list[int], cold: list[int], iters: int = 10) -> History:
+    """History where ``hot`` items were always 1 and ``cold`` always 0."""
+    h = History(n)
+    x = np.zeros(n, dtype=np.int8)
+    x[hot] = 1
+    # everything not hot/cold sits at 50% frequency
+    mid = [j for j in range(n) if j not in hot and j not in cold]
+    for it in range(iters):
+        x[mid] = it % 2
+        h.record(x)
+    return h
+
+
+class TestConfig:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DiversificationConfig(high_threshold=0.2, low_threshold=0.5)
+        with pytest.raises(ValueError):
+            DiversificationConfig(high_threshold=1.5)
+        with pytest.raises(ValueError):
+            DiversificationConfig(lock_iterations=-1)
+
+
+class TestDiversify:
+    def test_forces_overused_out(self, small_instance):
+        n = small_instance.n_items
+        history = loaded_history(n, hot=[0, 1], cold=[2, 3])
+        state = SearchState.from_solution(
+            small_instance, greedy_solution(small_instance)
+        )
+        tabu = TabuList(n, 5)
+        config = DiversificationConfig(high_threshold=0.8, low_threshold=0.1)
+        result = diversify(state, history, tabu, config)
+        assert result.x[0] == 0
+        assert result.x[1] == 0
+
+    def test_forces_underused_in_when_feasible(self, small_instance):
+        n = small_instance.n_items
+        history = loaded_history(n, hot=[], cold=[4])
+        state = SearchState.empty(small_instance)
+        tabu = TabuList(n, 5)
+        config = DiversificationConfig(high_threshold=0.9, low_threshold=0.1)
+        result = diversify(state, history, tabu, config)
+        # 4 was forced in from an empty state — it must fit alone.
+        assert result.x[4] == 1
+
+    def test_result_feasible(self, small_instance):
+        n = small_instance.n_items
+        history = loaded_history(n, hot=list(range(5)), cold=list(range(5, 15)))
+        state = SearchState.from_solution(
+            small_instance, greedy_solution(small_instance)
+        )
+        tabu = TabuList(n, 5)
+        result = diversify(state, history, tabu, DiversificationConfig())
+        assert result.is_feasible(small_instance)
+        assert state.is_feasible
+
+    def test_forced_components_locked(self, small_instance):
+        n = small_instance.n_items
+        history = loaded_history(n, hot=[0], cold=[7])
+        state = SearchState.from_solution(
+            small_instance, greedy_solution(small_instance)
+        )
+        tabu = TabuList(n, 2)
+        config = DiversificationConfig(
+            high_threshold=0.8, low_threshold=0.1, lock_iterations=10
+        )
+        diversify(state, history, tabu, config)
+        # locked far beyond ordinary tenure
+        assert tabu.remaining(0) > 2
+        assert tabu.remaining(7) > 2
+
+    def test_no_forcing_with_extreme_thresholds(self, small_instance):
+        """Thresholds at 1/0 force nothing; solution unchanged up to fill."""
+        n = small_instance.n_items
+        history = loaded_history(n, hot=[0], cold=[7])
+        start = greedy_solution(small_instance)
+        state = SearchState.from_solution(small_instance, start)
+        tabu = TabuList(n, 2)
+        config = DiversificationConfig(
+            high_threshold=1.0, low_threshold=0.0, lock_iterations=5
+        )
+        result = diversify(state, history, tabu, config)
+        assert result == start
+        assert tabu.active_count() == 0

@@ -1,0 +1,188 @@
+"""Unit tests for branch & bound, DP, and preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MKPInstance, greedy_solution
+from repro.exact import (
+    branch_and_bound,
+    reduce_instance,
+    solve_instance_dp,
+    solve_knapsack_dp,
+)
+from repro.instances import correlated_instance, uncorrelated_instance
+
+
+def brute_force(instance: MKPInstance) -> float:
+    """Exhaustive optimum for n <= ~16."""
+    n = instance.n_items
+    best = 0.0
+    for mask in range(1 << n):
+        x = np.array([(mask >> k) & 1 for k in range(n)], dtype=np.int8)
+        if instance.is_feasible(x):
+            best = max(best, instance.objective(x))
+    return best
+
+
+class TestDP:
+    def test_simple(self):
+        value, x = solve_knapsack_dp(
+            np.array([60.0, 100.0, 120.0]), np.array([10.0, 20.0, 30.0]), 50
+        )
+        assert value == 220.0
+        np.testing.assert_array_equal(x, [0, 1, 1])
+
+    def test_zero_capacity(self):
+        value, x = solve_knapsack_dp(np.array([5.0]), np.array([3.0]), 0)
+        assert value == 0.0
+        assert x[0] == 0
+
+    def test_zero_weight_item_taken(self):
+        value, x = solve_knapsack_dp(np.array([5.0, 4.0]), np.array([0.0, 2.0]), 1)
+        assert value == 5.0
+        assert x[0] == 1
+
+    def test_solution_vector_consistent(self):
+        rng = np.random.default_rng(3)
+        p = rng.integers(1, 50, 12).astype(float)
+        w = rng.integers(1, 30, 12).astype(float)
+        cap = float(w.sum() // 3)
+        value, x = solve_knapsack_dp(p, w, cap)
+        assert x @ w <= cap
+        assert value == pytest.approx(float(x @ p))
+
+    def test_rejects_fractional_weights(self):
+        with pytest.raises(ValueError, match="integer"):
+            solve_knapsack_dp(np.array([1.0]), np.array([1.5]), 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(np.array([1.0]), np.array([-1.0]), 3)
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(np.array([1.0]), np.array([1.0]), -3)
+
+    def test_instance_wrapper_requires_m1(self, small_instance):
+        with pytest.raises(ValueError):
+            solve_instance_dp(small_instance)
+
+
+class TestBranchAndBound:
+    def test_matches_brute_force_small(self):
+        for seed in range(5):
+            inst = uncorrelated_instance(3, 12, rng=seed)
+            result = branch_and_bound(inst)
+            assert result.proven
+            assert result.value == pytest.approx(brute_force(inst))
+
+    def test_matches_dp_single_constraint(self):
+        for seed in range(5):
+            inst = uncorrelated_instance(1, 18, rng=100 + seed)
+            dp_value, _ = solve_instance_dp(inst)
+            bb = branch_and_bound(inst)
+            assert bb.proven
+            assert bb.value == pytest.approx(dp_value)
+
+    def test_solution_vector_is_feasible_and_consistent(self, small_instance):
+        result = branch_and_bound(small_instance)
+        assert result.solution.is_feasible(small_instance)
+        assert result.value == pytest.approx(
+            small_instance.objective(result.solution.x)
+        )
+
+    def test_at_least_greedy(self, medium_instance):
+        result = branch_and_bound(medium_instance, node_limit=50_000)
+        assert result.value >= greedy_solution(medium_instance).value
+
+    def test_root_bound_valid(self, small_instance):
+        result = branch_and_bound(small_instance)
+        assert result.root_bound >= result.value - 1e-9
+        assert 0.0 <= result.gap() <= 1.0
+
+    def test_node_limit_returns_unproven(self):
+        inst = correlated_instance(10, 60, rng=17)
+        result = branch_and_bound(inst, node_limit=10)
+        assert not result.proven
+        assert result.solution.is_feasible(inst)
+
+    def test_warm_start_respected(self, small_instance):
+        warm = greedy_solution(small_instance)
+        result = branch_and_bound(small_instance, incumbent=warm)
+        assert result.value >= warm.value
+
+    def test_warm_start_must_be_feasible(self, tiny_instance):
+        from repro.core import Solution
+
+        bad = Solution(np.array([1, 1, 1, 1]), 28.0)
+        with pytest.raises(ValueError):
+            branch_and_bound(tiny_instance, incumbent=bad)
+
+    def test_tiny_instance_optimum(self, tiny_instance):
+        result = branch_and_bound(tiny_instance)
+        assert result.proven
+        assert result.value == 18.0
+
+    def test_invalid_node_limit(self, tiny_instance):
+        with pytest.raises(ValueError):
+            branch_and_bound(tiny_instance, node_limit=0)
+
+
+class TestPreprocess:
+    def test_redundant_constraint_removed(self):
+        inst = MKPInstance.from_lists(
+            weights=[[1, 1, 1], [100, 100, 100]],
+            capacities=[2, 1000],  # second constraint can never bind
+            profits=[3, 2, 1],
+        )
+        red = reduce_instance(inst)
+        assert red.reduced.n_constraints == 1
+        assert list(red.kept_constraints) == [0]
+
+    def test_misfit_items_fixed_zero(self):
+        inst = MKPInstance.from_lists(
+            weights=[[5, 50, 3]],
+            capacities=[10],
+            profits=[1, 100, 1],
+        )
+        red = reduce_instance(inst)
+        assert 1 in red.fixed_zero
+        assert red.reduced.n_items == 2
+
+    def test_lift_roundtrip(self):
+        inst = MKPInstance.from_lists(
+            weights=[[5, 50, 3]],
+            capacities=[10],
+            profits=[1, 100, 1],
+        )
+        red = reduce_instance(inst)
+        x_red = np.ones(red.reduced.n_items, dtype=np.int8)
+        x = red.lift(x_red)
+        assert x.shape == (3,)
+        assert x[1] == 0
+
+    def test_reduction_preserves_optimum(self):
+        for seed in range(4):
+            inst = uncorrelated_instance(3, 12, rng=200 + seed)
+            full = branch_and_bound(inst)
+            incumbent = greedy_solution(inst)
+            red = reduce_instance(inst, incumbent_value=incumbent.value)
+            sub = branch_and_bound(red.reduced)
+            assert sub.proven and full.proven
+            lifted_value = red.lift_value(sub.value)
+            assert lifted_value == pytest.approx(full.value)
+            # lifted vector must be feasible in the original space
+            assert inst.is_feasible(red.lift(sub.solution.x))
+
+    def test_lift_shape_validation(self):
+        inst = uncorrelated_instance(2, 8, rng=1)
+        red = reduce_instance(inst)
+        with pytest.raises(ValueError):
+            red.lift(np.ones(red.reduced.n_items + 1, dtype=np.int8))
+
+    def test_fixed_profit(self):
+        inst = uncorrelated_instance(2, 8, rng=1)
+        red = reduce_instance(inst)
+        assert red.fixed_profit == pytest.approx(
+            float(inst.profits[red.fixed_one].sum())
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for the exact substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MKPInstance, greedy_solution, random_solution
+from repro.exact import branch_and_bound, solve_knapsack_dp, solve_lp_relaxation
+
+
+@st.composite
+def small_instances(draw):
+    m = draw(st.integers(1, 4))
+    n = draw(st.integers(1, 10))
+    weights = draw(
+        st.lists(
+            st.lists(st.integers(1, 30), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    profits = draw(st.lists(st.integers(1, 60), min_size=n, max_size=n))
+    capacities = draw(st.lists(st.integers(1, 120), min_size=m, max_size=m))
+    return MKPInstance.from_lists(weights, capacities, profits)
+
+
+class TestBnBProperties:
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_optimum_dominates_heuristics(self, inst):
+        result = branch_and_bound(inst, node_limit=100_000)
+        assert result.proven
+        assert result.value >= greedy_solution(inst).value - 1e-9
+        assert result.value >= random_solution(inst, rng=0).value - 1e-9
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_lp_bound_dominates_optimum(self, inst):
+        result = branch_and_bound(inst, node_limit=100_000)
+        lp = solve_lp_relaxation(inst)
+        assert lp.value >= result.value - 1e-6
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_incumbent_is_feasible_and_consistent(self, inst):
+        result = branch_and_bound(inst, node_limit=100_000)
+        assert inst.is_feasible(result.solution.x)
+        assert result.value == float(inst.objective(result.solution.x))
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_single_constraint_agrees_with_dp(self, inst):
+        if inst.n_constraints != 1:
+            return
+        dp_value, _ = solve_knapsack_dp(
+            inst.profits, inst.weights[0], float(inst.capacities[0])
+        )
+        bb = branch_and_bound(inst, node_limit=100_000)
+        assert bb.proven
+        assert abs(bb.value - dp_value) < 1e-9
+
+
+class TestDPProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 40), st.integers(1, 15)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(0, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dp_matches_brute_force(self, items, capacity):
+        profits = np.array([p for p, _ in items], dtype=float)
+        weights = np.array([w for _, w in items], dtype=float)
+        value, x = solve_knapsack_dp(profits, weights, capacity)
+        # brute force
+        n = len(items)
+        best = 0.0
+        for mask in range(1 << n):
+            bits = np.array([(mask >> k) & 1 for k in range(n)])
+            if bits @ weights <= capacity:
+                best = max(best, float(bits @ profits))
+        assert value == best
+        assert x @ weights <= capacity
+        assert float(x @ profits) == value

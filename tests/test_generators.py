@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.instances.generators`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import correlated_instance, make_instance, uncorrelated_instance
+from repro.instances.generators import WEIGHT_MAX
+
+
+class TestUncorrelated:
+    def test_shape_and_validity(self):
+        inst = uncorrelated_instance(4, 30, rng=0)
+        assert inst.shape == (4, 30)
+        assert np.all(inst.weights >= 1) and np.all(inst.weights <= WEIGHT_MAX)
+        assert np.all(inst.profits >= 1)
+
+    def test_seed_reproducibility(self):
+        a = uncorrelated_instance(3, 20, rng=5)
+        b = uncorrelated_instance(3, 20, rng=5)
+        np.testing.assert_array_equal(a.weights, b.weights)
+        np.testing.assert_array_equal(a.profits, b.profits)
+
+    def test_different_seeds_differ(self):
+        a = uncorrelated_instance(3, 20, rng=5)
+        b = uncorrelated_instance(3, 20, rng=6)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_tightness_sets_capacities(self):
+        inst = uncorrelated_instance(3, 50, tightness=0.25, rng=0)
+        rows = inst.weights.sum(axis=1)
+        # floor(0.25 * sum) unless the single-item floor dominates
+        expected = np.maximum(np.floor(0.25 * rows), inst.weights.max(axis=1))
+        np.testing.assert_allclose(inst.capacities, expected)
+
+    def test_every_item_fits_alone(self):
+        inst = uncorrelated_instance(5, 40, tightness=0.05, rng=1)
+        assert np.all(inst.weights.max(axis=1) <= inst.capacities)
+
+    def test_invalid_tightness(self):
+        with pytest.raises(ValueError):
+            uncorrelated_instance(2, 5, tightness=0.0, rng=0)
+        with pytest.raises(ValueError):
+            uncorrelated_instance(2, 5, tightness=1.5, rng=0)
+
+
+class TestCorrelated:
+    def test_profit_weight_correlation(self):
+        inst = correlated_instance(5, 300, rng=2)
+        mean_weights = inst.weights.mean(axis=0)
+        corr = np.corrcoef(mean_weights, inst.profits)[0, 1]
+        assert corr > 0.5  # strongly correlated by construction
+
+    def test_uncorrelated_is_less_correlated(self):
+        corr_inst = correlated_instance(5, 300, rng=2)
+        unc_inst = uncorrelated_instance(5, 300, rng=2)
+        c1 = np.corrcoef(corr_inst.weights.mean(axis=0), corr_inst.profits)[0, 1]
+        c0 = np.corrcoef(unc_inst.weights.mean(axis=0), unc_inst.profits)[0, 1]
+        assert c1 > c0 + 0.3
+
+    def test_noise_scale_validation(self):
+        with pytest.raises(ValueError):
+            correlated_instance(2, 5, correlation=-1.0, rng=0)
+
+    def test_profits_positive(self):
+        inst = correlated_instance(3, 100, correlation=0.0, rng=3)
+        assert np.all(inst.profits >= 1)
+
+
+class TestMakeInstance:
+    def test_dispatch(self):
+        a = make_instance(2, 10, correlated=True, rng=0)
+        b = make_instance(2, 10, correlated=False, rng=0)
+        assert a.name.startswith("corr-")
+        assert b.name.startswith("uncorr-")
+
+    def test_custom_name(self):
+        inst = make_instance(2, 10, rng=0, name="custom")
+        assert inst.name == "custom"
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            make_instance(0, 10)
+        with pytest.raises(ValueError):
+            make_instance(2, 0)

@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.core.instance`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MKPInstance
+
+
+class TestConstruction:
+    def test_basic_shape(self, tiny_instance):
+        assert tiny_instance.n_items == 4
+        assert tiny_instance.n_constraints == 2
+        assert tiny_instance.shape == (2, 4)
+        assert tiny_instance.size_label == "2*4"
+
+    def test_arrays_are_readonly(self, tiny_instance):
+        with pytest.raises(ValueError):
+            tiny_instance.weights[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            tiny_instance.capacities[0] = 99.0
+        with pytest.raises(ValueError):
+            tiny_instance.profits[0] = 99.0
+
+    def test_rejects_wrong_weight_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MKPInstance(
+                weights=np.ones(4),
+                capacities=np.ones(1),
+                profits=np.ones(4),
+            )
+
+    def test_rejects_capacity_shape_mismatch(self):
+        with pytest.raises(ValueError, match="capacities"):
+            MKPInstance(
+                weights=np.ones((2, 4)),
+                capacities=np.ones(3),
+                profits=np.ones(4),
+            )
+
+    def test_rejects_profit_shape_mismatch(self):
+        with pytest.raises(ValueError, match="profits"):
+            MKPInstance(
+                weights=np.ones((2, 4)),
+                capacities=np.ones(2),
+                profits=np.ones(5),
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MKPInstance(
+                weights=np.ones((0, 4)).reshape(0, 4),
+                capacities=np.ones(0),
+                profits=np.ones(4),
+            )
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MKPInstance.from_lists([[1, -2]], [3], [1, 1])
+
+    def test_rejects_nonpositive_profits(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            MKPInstance.from_lists([[1, 2]], [3], [1, 0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            MKPInstance.from_lists([[1, np.inf]], [3], [1, 1])
+
+
+class TestDerived:
+    def test_density(self, tiny_instance):
+        expected = tiny_instance.weights.sum(axis=0) / tiny_instance.profits
+        np.testing.assert_allclose(tiny_instance.density, expected)
+
+    def test_density_cached_identity(self, tiny_instance):
+        assert tiny_instance.density is tiny_instance.density
+
+    def test_tightness(self, tiny_instance):
+        expected = tiny_instance.capacities / tiny_instance.weights.sum(axis=1)
+        np.testing.assert_allclose(tiny_instance.tightness, expected)
+
+
+class TestEvaluation:
+    def test_objective(self, tiny_instance):
+        x = np.array([1, 0, 1, 0])
+        assert tiny_instance.objective(x) == 18.0
+
+    def test_loads(self, tiny_instance):
+        x = np.array([1, 0, 1, 0])
+        np.testing.assert_allclose(tiny_instance.loads(x), [9.0, 8.0])
+
+    def test_feasible_optimum(self, tiny_instance):
+        assert tiny_instance.is_feasible(np.array([1, 0, 1, 0]))
+
+    def test_infeasible_all_ones(self, tiny_instance):
+        assert not tiny_instance.is_feasible(np.array([1, 1, 1, 1]))
+
+    def test_is_feasible_rejects_non_binary(self, tiny_instance):
+        with pytest.raises(ValueError, match="0/1"):
+            tiny_instance.is_feasible(np.array([2, 0, 0, 0]))
+
+    def test_is_feasible_rejects_bad_shape(self, tiny_instance):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_instance.is_feasible(np.array([1, 0, 1]))
+
+    def test_violation_zero_iff_feasible(self, tiny_instance):
+        assert tiny_instance.violation(np.array([1, 0, 1, 0])) == 0.0
+        assert tiny_instance.violation(np.array([1, 1, 1, 1])) > 0.0
+
+    def test_violation_value(self, tiny_instance):
+        x = np.array([1, 1, 1, 1])
+        loads = tiny_instance.loads(x)
+        expected = sum(
+            max(0.0, loads[i] - tiny_instance.capacities[i]) for i in range(2)
+        )
+        assert tiny_instance.violation(x) == pytest.approx(expected)
+
+
+class TestReferenceValues:
+    def test_gap_with_optimum(self, tiny_instance):
+        assert tiny_instance.gap_to_reference(18.0) == pytest.approx(0.0)
+        assert tiny_instance.gap_to_reference(17.1) == pytest.approx(5.0)
+
+    def test_gap_without_reference(self, small_instance):
+        assert small_instance.gap_to_reference(100.0) is None
+
+    def test_with_reference_roundtrip(self, small_instance):
+        tagged = small_instance.with_reference(best_known=123.0)
+        assert tagged.best_known == 123.0
+        assert tagged.optimum is None
+        assert tagged.name == small_instance.name
+        # Original untouched (immutability)
+        assert small_instance.best_known is None
+
+    def test_best_known_used_when_no_optimum(self, small_instance):
+        tagged = small_instance.with_reference(best_known=200.0)
+        assert tagged.gap_to_reference(100.0) == pytest.approx(50.0)
+
+    def test_renamed(self, small_instance):
+        other = small_instance.renamed("other")
+        assert other.name == "other"
+        np.testing.assert_array_equal(other.weights, small_instance.weights)

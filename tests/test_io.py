@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.instances.io` (OR-Library text format)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import (
+    read_instance,
+    read_orlib_file,
+    uncorrelated_instance,
+    write_instance,
+    write_orlib_file,
+)
+
+
+class TestSingleInstance:
+    def test_roundtrip(self, tmp_path, small_instance):
+        path = tmp_path / "inst.txt"
+        write_instance(small_instance, path)
+        loaded = read_instance(path)
+        np.testing.assert_allclose(loaded.weights, small_instance.weights)
+        np.testing.assert_allclose(loaded.capacities, small_instance.capacities)
+        np.testing.assert_allclose(loaded.profits, small_instance.profits)
+
+    def test_roundtrip_preserves_optimum(self, tmp_path, tiny_instance):
+        path = tmp_path / "tiny.txt"
+        write_instance(tiny_instance, path)
+        loaded = read_instance(path)
+        assert loaded.optimum == 18.0
+
+    def test_unknown_optimum_is_zero_header(self, tmp_path, small_instance):
+        path = tmp_path / "inst.txt"
+        write_instance(small_instance, path)
+        header = path.read_text().splitlines()[0].split()
+        assert header == ["30", "5", "0"]
+        assert read_instance(path).optimum is None
+
+    def test_name_from_stem(self, tmp_path, small_instance):
+        path = tmp_path / "myproblem.txt"
+        write_instance(small_instance, path)
+        assert read_instance(path).name == "myproblem"
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text(
+            "# a comment\n2 1 0  # inline comment\n3 4\n1 2\n5\n"
+        )
+        inst = read_instance(path)
+        assert inst.n_items == 2
+        np.testing.assert_allclose(inst.profits, [3, 4])
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("5 2 0\n1 2 3\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_instance(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_instance(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0\n")
+        with pytest.raises(ValueError, match="invalid header"):
+            read_instance(path)
+
+
+class TestMultiInstance:
+    def test_roundtrip(self, tmp_path):
+        suite = [uncorrelated_instance(2, 6, rng=k) for k in range(3)]
+        path = tmp_path / "suite.txt"
+        write_orlib_file(suite, path)
+        loaded = read_orlib_file(path)
+        assert len(loaded) == 3
+        for orig, got in zip(suite, loaded):
+            np.testing.assert_allclose(got.weights, orig.weights)
+
+    def test_names_enumerated(self, tmp_path):
+        suite = [uncorrelated_instance(2, 6, rng=k) for k in range(2)]
+        path = tmp_path / "suite.txt"
+        write_orlib_file(suite, path)
+        loaded = read_orlib_file(path)
+        assert [i.name for i in loaded] == ["suite-1", "suite-2"]
+
+    def test_bad_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="invalid instance count"):
+            read_orlib_file(path)
+
+    def test_fractional_data_roundtrip(self, tmp_path):
+        from repro.core import MKPInstance
+
+        inst = MKPInstance.from_lists(
+            weights=[[1.5, 2.25]], capacities=[3.75], profits=[1.5, 2.0]
+        )
+        path = tmp_path / "frac.txt"
+        write_instance(inst, path)
+        loaded = read_instance(path)
+        np.testing.assert_allclose(loaded.weights, inst.weights)
+        np.testing.assert_allclose(loaded.capacities, inst.capacities)

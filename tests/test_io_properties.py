@@ -1,0 +1,73 @@
+"""Property-based round-trip tests for the OR-Library file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MKPInstance
+from repro.instances import (
+    read_instance,
+    read_orlib_file,
+    write_instance,
+    write_orlib_file,
+)
+
+
+@st.composite
+def instances(draw):
+    m = draw(st.integers(1, 5))
+    n = draw(st.integers(1, 12))
+    weights = draw(
+        st.lists(
+            st.lists(st.integers(0, 999), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    profits = draw(st.lists(st.integers(1, 999), min_size=n, max_size=n))
+    capacities = draw(st.lists(st.integers(0, 5000), min_size=m, max_size=m))
+    optimum = draw(st.one_of(st.none(), st.integers(1, 10**6)))
+    inst = MKPInstance.from_lists(weights, capacities, profits)
+    if optimum is not None:
+        inst = inst.with_reference(optimum=float(optimum))
+    return inst
+
+
+class TestRoundTripProperties:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_single_instance_roundtrip(self, inst):
+        import tempfile, pathlib
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "p.txt"
+            self._check_single(inst, path)
+
+    @staticmethod
+    def _check_single(inst, path):
+        write_instance(inst, path)
+        loaded = read_instance(path)
+        np.testing.assert_allclose(loaded.weights, inst.weights)
+        np.testing.assert_allclose(loaded.capacities, inst.capacities)
+        np.testing.assert_allclose(loaded.profits, inst.profits)
+        assert loaded.optimum == inst.optimum
+
+    @given(st.lists(instances(), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_multi_instance_roundtrip(self, suite):
+        import tempfile, pathlib
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "suite.txt"
+            self._check_multi(suite, path)
+
+    @staticmethod
+    def _check_multi(suite, path):
+        write_orlib_file(suite, path)
+        loaded = read_orlib_file(path)
+        assert len(loaded) == len(suite)
+        for orig, got in zip(suite, loaded):
+            np.testing.assert_allclose(got.weights, orig.weights)
+            np.testing.assert_allclose(got.profits, orig.profits)

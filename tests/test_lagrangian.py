@@ -1,0 +1,89 @@
+"""Tests for the Lagrangian relaxation bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MKPInstance, greedy_solution
+from repro.exact import (
+    branch_and_bound,
+    lagrangian_bound,
+    lagrangian_value,
+    solve_lp_relaxation,
+)
+from repro.instances import correlated_instance, uncorrelated_instance
+
+
+class TestLagrangianValue:
+    def test_zero_multipliers_give_sum_of_positive_profits(self, small_instance):
+        value, x = lagrangian_value(
+            small_instance, np.zeros(small_instance.n_constraints)
+        )
+        assert value == pytest.approx(float(small_instance.profits.sum()))
+        assert np.all(x == 1)
+
+    def test_validation(self, small_instance):
+        with pytest.raises(ValueError):
+            lagrangian_value(small_instance, np.zeros(small_instance.n_constraints + 1))
+        with pytest.raises(ValueError):
+            lagrangian_value(small_instance, -np.ones(small_instance.n_constraints))
+
+    def test_any_multiplier_is_upper_bound(self, small_instance, rng):
+        opt = branch_and_bound(small_instance).value
+        for _ in range(10):
+            u = rng.random(small_instance.n_constraints) * 0.5
+            value, _ = lagrangian_value(small_instance, u)
+            assert value >= opt - 1e-6
+
+
+class TestLagrangianBound:
+    def test_dominates_optimum(self):
+        for seed in range(4):
+            inst = uncorrelated_instance(3, 15, rng=400 + seed)
+            opt = branch_and_bound(inst).value
+            lag = lagrangian_bound(inst)
+            assert lag.bound >= opt - 1e-6
+
+    def test_converges_toward_lp(self):
+        """By the integrality property, min_u L(u) = LP value; after enough
+        subgradient steps the bound should be within a few percent."""
+        inst = correlated_instance(5, 60, rng=11)
+        lp = solve_lp_relaxation(inst).value
+        lag = lagrangian_bound(inst, iterations=400)
+        assert lag.bound >= lp - 1e-6
+        assert lag.bound <= lp * 1.05
+
+    def test_tighter_than_trivial(self, small_instance):
+        trivial = float(small_instance.profits.sum())
+        lag = lagrangian_bound(small_instance)
+        assert lag.bound < trivial
+
+    def test_multipliers_nonnegative(self, small_instance):
+        lag = lagrangian_bound(small_instance)
+        assert np.all(lag.multipliers >= 0)
+
+    def test_warm_lower_bound_accepted(self, small_instance):
+        warm = greedy_solution(small_instance).value
+        lag = lagrangian_bound(small_instance, lower_bound=warm)
+        assert lag.bound >= warm - 1e-6
+
+    def test_validation(self, small_instance):
+        with pytest.raises(ValueError):
+            lagrangian_bound(small_instance, iterations=0)
+        with pytest.raises(ValueError):
+            lagrangian_bound(small_instance, initial_step=0.0)
+        with pytest.raises(ValueError):
+            lagrangian_bound(small_instance, halve_after=0)
+
+
+class TestLagrangianProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_validity_random_instances(self, seed):
+        inst = uncorrelated_instance(2, 10, rng=seed)
+        opt = branch_and_bound(inst).value
+        lag = lagrangian_bound(inst, iterations=100)
+        assert lag.bound >= opt - 1e-6

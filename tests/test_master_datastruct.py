@@ -1,0 +1,62 @@
+"""Unit tests for the master's per-slave data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Solution, Strategy
+from repro.master import INITIAL_SCORE, SlaveEntry
+
+
+def sol(bits: list[int], value: float) -> Solution:
+    return Solution(np.array(bits, dtype=np.int8), value)
+
+
+def make_entry() -> SlaveEntry:
+    return SlaveEntry(
+        slave_id=0,
+        strategy=Strategy(10, 2, 20),
+        init_solution=sol([1, 0, 0], 5.0),
+    )
+
+
+class TestEntry:
+    def test_initial_score_is_four(self):
+        """§4.2: 'a predetermined value (four in the actual version)'."""
+        assert INITIAL_SCORE == 4
+        assert make_entry().score == 4
+
+    def test_best_none_initially(self):
+        assert make_entry().best is None
+
+    def test_absorb_sorts_and_reports_improvement(self):
+        entry = make_entry()
+        changed = entry.absorb_elite([sol([1, 0, 0], 5), sol([0, 1, 0], 9)], capacity=4)
+        assert changed
+        assert entry.best.value == 9
+
+    def test_absorb_no_improvement(self):
+        entry = make_entry()
+        entry.absorb_elite([sol([0, 1, 0], 9)], capacity=4)
+        changed = entry.absorb_elite([sol([1, 0, 0], 5)], capacity=4)
+        assert not changed
+
+    def test_absorb_deduplicates(self):
+        entry = make_entry()
+        entry.absorb_elite([sol([0, 1, 0], 9)], capacity=4)
+        entry.absorb_elite([sol([0, 1, 0], 9)], capacity=4)
+        assert len(entry.best_solutions) == 1
+
+    def test_absorb_caps_capacity(self):
+        entry = make_entry()
+        sols = [sol([1 if i == j else 0 for i in range(6)], float(j)) for j in range(6)]
+        entry.absorb_elite(sols, capacity=3)
+        assert len(entry.best_solutions) == 3
+        assert [s.value for s in entry.best_solutions] == [5.0, 4.0, 3.0]
+
+    def test_absorb_keeps_cross_round_memory(self):
+        entry = make_entry()
+        entry.absorb_elite([sol([0, 1, 0], 9)], capacity=3)
+        entry.absorb_elite([sol([0, 0, 1], 7)], capacity=3)
+        values = [s.value for s in entry.best_solutions]
+        assert values == [9.0, 7.0]

@@ -1,0 +1,63 @@
+"""White-box tests for the Reverse Elimination Method's trace logic."""
+
+from __future__ import annotations
+
+from repro.baselines.rem_tabu import _reverse_elimination
+
+
+class TestReverseElimination:
+    def test_immediate_undo_forbidden(self):
+        """After flipping {3}, flipping {3} again recreates the previous
+        solution — REM must mark attribute 3 tabu."""
+        tabu, steps = _reverse_elimination([[3]], None)
+        assert tabu == {3}
+        assert steps == 1
+
+    def test_two_step_cycle_detected(self):
+        """Moves [{1}, {2}] leave residual {1,2} vs the origin and {2} vs
+        the mid state: only 2 is a one-flip return."""
+        tabu, _ = _reverse_elimination([[1], [2]], None)
+        assert tabu == {2}
+
+    def test_cancellation_across_moves(self):
+        """Moves [{1}, {2}, {1}] : walking back, residuals are {1}, {1,2},
+        {2} — both 1 (undo last move) and 2 (return to the post-move-1
+        state) are one flip away."""
+        tabu, _ = _reverse_elimination([[1], [2], [1]], None)
+        assert tabu == {1, 2}
+
+    def test_compound_moves_not_blocked_as_singletons(self):
+        """A compound move {1, 2} leaves a residual of size 2 — no single
+        flip recreates the previous solution, so nothing is tabu."""
+        tabu, _ = _reverse_elimination([[1, 2]], None)
+        assert tabu == set()
+
+    def test_trace_limit_caps_lookback(self):
+        running = [[k] for k in range(100)]
+        _, steps = _reverse_elimination(running, trace_limit=7)
+        assert steps == 7
+
+    def test_full_trace_is_linear_in_history(self):
+        running = [[k] for k in range(50)]
+        _, steps = _reverse_elimination(running, None)
+        assert steps == 50
+
+    def test_exactness_against_brute_force(self):
+        """REM's tabu set == the set of attributes whose flip recreates a
+        previously visited solution (checked by replaying the walk)."""
+        import itertools
+
+        moves = [[1], [2, 3], [1], [4], [2]]
+        # replay: visited solutions as frozensets of set bits
+        visited = [frozenset()]
+        current: set[int] = set()
+        for flips in moves:
+            current ^= set(flips)
+            visited.append(frozenset(current))
+        expected = {
+            attr
+            for attr in range(6)
+            if frozenset(current ^ {attr}) in visited[:-1]
+        }
+        tabu, _ = _reverse_elimination(moves, None)
+        assert tabu == expected

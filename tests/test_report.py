@@ -1,0 +1,32 @@
+"""Tests for the report assembler."""
+
+from __future__ import annotations
+
+from repro.analysis.report import REPORT_ORDER, assemble_report
+
+
+class TestAssemble:
+    def test_missing_files_noted(self, tmp_path):
+        report = assemble_report(tmp_path)
+        assert report.count("not yet generated") == len(REPORT_ORDER)
+        assert report.startswith("# Benchmark results")
+
+    def test_present_files_embedded(self, tmp_path):
+        (tmp_path / "fp57.txt").write_text("CONTENT-MARKER-123", encoding="utf-8")
+        report = assemble_report(tmp_path)
+        assert "CONTENT-MARKER-123" in report
+        assert report.count("not yet generated") == len(REPORT_ORDER) - 1
+
+    def test_all_sections_titled(self, tmp_path):
+        report = assemble_report(tmp_path)
+        for section in REPORT_ORDER:
+            assert section.title in report
+
+    def test_custom_title(self, tmp_path):
+        report = assemble_report(tmp_path, title="My run")
+        assert report.startswith("# My run")
+
+    def test_order_matches_design_index(self):
+        ids = [s.result_id for s in REPORT_ORDER]
+        assert ids.index("table1_gk") < ids.index("table2_variants") < ids.index("fp57")
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.rng`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import as_seed_list, derive_rng, make_rng, random_seed_from, spawn_rngs
+
+
+class TestMakeRng:
+    def test_accepts_int(self):
+        a = make_rng(5).integers(0, 100, 10)
+        b = make_rng(5).integers(0, 100, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passes_through_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(0, 2**31, 5).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible(self):
+        a = spawn_rngs(7, 3)[1].integers(0, 2**31, 5)
+        b = spawn_rngs(7, 3)[1].integers(0, 2**31, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(7, 0) == []
+
+
+class TestDerive:
+    def test_path_addressing_reproducible(self):
+        a = derive_rng(9, 2, 5).integers(0, 2**31, 4)
+        b = derive_rng(9, 2, 5).integers(0, 2**31, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        a = derive_rng(9, 2, 5).integers(0, 2**31, 4)
+        b = derive_rng(9, 2, 6).integers(0, 2**31, 4)
+        c = derive_rng(9, 3, 5).integers(0, 2**31, 4)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestSeedHelpers:
+    def test_random_seed_range(self):
+        gen = make_rng(0)
+        for _ in range(100):
+            s = random_seed_from(gen)
+            assert 0 <= s < 2**63
+
+    def test_as_seed_list(self):
+        seeds = as_seed_list(11, 4)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+        assert seeds == as_seed_list(11, 4)

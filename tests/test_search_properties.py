@@ -1,0 +1,118 @@
+"""Property-based tests over the search drivers themselves."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Budget,
+    MKPInstance,
+    Strategy,
+    StrategyBounds,
+    TabuSearch,
+    TabuSearchConfig,
+)
+
+
+@st.composite
+def search_cases(draw):
+    m = draw(st.integers(1, 4))
+    n = draw(st.integers(3, 14))
+    weights = draw(
+        st.lists(
+            st.lists(st.integers(1, 30), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    profits = draw(st.lists(st.integers(1, 60), min_size=n, max_size=n))
+    capacities = draw(st.lists(st.integers(5, 120), min_size=m, max_size=m))
+    inst = MKPInstance.from_lists(weights, capacities, profits)
+    strategy = Strategy(
+        lt_length=draw(st.integers(0, 12)),
+        nb_drop=draw(st.integers(1, 4)),
+        nb_local=draw(st.integers(1, 15)),
+    )
+    seed = draw(st.integers(0, 2**16))
+    return inst, strategy, seed
+
+
+class TestTabuSearchInvariants:
+    @given(search_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_best_always_feasible(self, case):
+        inst, strategy, seed = case
+        ts = TabuSearch(inst, strategy, TabuSearchConfig(nb_div=2), rng=seed)
+        result = ts.run(budget=Budget(max_moves=40))
+        assert result.best.is_feasible(inst)
+        # value is consistent with the vector
+        assert result.best.value == float(inst.objective(result.best.x))
+
+    @given(search_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_incumbent_trace_monotone_and_consistent(self, case):
+        inst, strategy, seed = case
+        ts = TabuSearch(inst, strategy, TabuSearchConfig(nb_div=2), rng=seed)
+        result = ts.run(budget=Budget(max_moves=40))
+        trace = result.value_trace
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+        assert result.best.value >= trace[-1] - 1e-9
+
+    @given(search_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_elite_members_feasible_and_sorted(self, case):
+        inst, strategy, seed = case
+        ts = TabuSearch(inst, strategy, TabuSearchConfig(nb_div=2), rng=seed)
+        result = ts.run(budget=Budget(max_moves=40))
+        values = [s.value for s in result.elite]
+        assert values == sorted(values, reverse=True)
+        for sol in result.elite:
+            assert sol.is_feasible(inst)
+
+    @given(search_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, case):
+        inst, strategy, seed = case
+        def go():
+            ts = TabuSearch(inst, strategy, TabuSearchConfig(nb_div=2), rng=seed)
+            return ts.run(budget=Budget(max_moves=30))
+        a, b = go(), go()
+        assert a.best == b.best
+        assert a.evaluations == b.evaluations
+
+
+class TestStrategyProperties:
+    @given(
+        st.integers(0, 60),
+        st.integers(1, 10),
+        st.integers(1, 120),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mutations_always_within_bounds(self, lt, drop, local, seed):
+        bounds = StrategyBounds()
+        st_clipped = bounds.clip(Strategy(lt, drop, local))
+        rng = np.random.default_rng(seed)
+        current = st_clipped
+        for _ in range(5):
+            current = (
+                current.diversified(bounds)
+                if rng.random() < 0.5
+                else current.intensified(bounds)
+            )
+            assert bounds.lt_length[0] <= current.lt_length <= bounds.lt_length[1]
+            assert bounds.nb_drop[0] <= current.nb_drop <= bounds.nb_drop[1]
+            assert bounds.nb_local[0] <= current.nb_local <= bounds.nb_local[1]
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_nb_it_load_balance_bound(self, drop):
+        """Total drop work nb_it * nb_drop is within a factor 2 across all
+        admissible nb_drop values (the balancing rule's purpose)."""
+        bounds = StrategyBounds(base_iterations=240)
+        drop = min(drop, bounds.nb_drop[1])
+        strategy = Strategy(10, max(1, drop), 20)
+        work = bounds.nb_it(strategy) * strategy.nb_drop
+        assert bounds.base_iterations / 2 <= work <= bounds.base_iterations * 2

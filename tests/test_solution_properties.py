@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for core solution invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MKPInstance,
+    SearchState,
+    Solution,
+    hamming_distance,
+    mean_pairwise_distance,
+    repair,
+)
+
+
+@st.composite
+def instances(draw, max_m: int = 6, max_n: int = 15) -> MKPInstance:
+    """Random small valid instances."""
+    m = draw(st.integers(1, max_m))
+    n = draw(st.integers(1, max_n))
+    weights = draw(
+        st.lists(
+            st.lists(st.integers(0, 50), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    profits = draw(st.lists(st.integers(1, 100), min_size=n, max_size=n))
+    capacities = draw(st.lists(st.integers(0, 200), min_size=m, max_size=m))
+    return MKPInstance.from_lists(weights, capacities, profits)
+
+
+@st.composite
+def instance_and_flips(draw):
+    inst = draw(instances())
+    n_flips = draw(st.integers(0, 30))
+    flips = draw(
+        st.lists(
+            st.integers(0, inst.n_items - 1), min_size=n_flips, max_size=n_flips
+        )
+    )
+    return inst, flips
+
+
+class TestIncrementalEvaluation:
+    """The central hot-path invariant: incremental ≡ from-scratch."""
+
+    @given(instance_and_flips())
+    @settings(max_examples=200, deadline=None)
+    def test_load_and_value_match_recomputation(self, case):
+        inst, flips = case
+        state = SearchState.empty(inst)
+        for j in flips:
+            state.flip(j)
+        np.testing.assert_allclose(
+            state.load, inst.weights @ state.x.astype(float), atol=1e-9
+        )
+        assert state.value == float(inst.profits @ state.x.astype(float))
+
+    @given(instance_and_flips())
+    @settings(max_examples=100, deadline=None)
+    def test_feasibility_agrees_with_instance(self, case):
+        inst, flips = case
+        state = SearchState.empty(inst)
+        for j in flips:
+            state.flip(j)
+        assert state.is_feasible == inst.is_feasible(state.x)
+
+    @given(instance_and_flips())
+    @settings(max_examples=100, deadline=None)
+    def test_fitting_items_really_fit(self, case):
+        inst, flips = case
+        state = SearchState.empty(inst)
+        for j in flips:
+            state.flip(j)
+        if not state.is_feasible:
+            return
+        for j in state.fitting_items():
+            clone = state.copy()
+            clone.add(int(j))
+            assert clone.is_feasible
+
+
+class TestRepair:
+    @given(instance_and_flips())
+    @settings(max_examples=100, deadline=None)
+    def test_repair_always_feasible(self, case):
+        inst, flips = case
+        state = SearchState.empty(inst)
+        for j in flips:
+            state.flip(j)
+        repair(state)
+        assert state.is_feasible
+
+    @given(instance_and_flips())
+    @settings(max_examples=100, deadline=None)
+    def test_repair_noop_on_feasible(self, case):
+        inst, flips = case
+        state = SearchState.empty(inst)
+        for j in flips:
+            state.flip(j)
+        if not state.is_feasible:
+            return
+        before = state.x.copy()
+        dropped = repair(state)
+        assert dropped == 0
+        np.testing.assert_array_equal(state.x, before)
+
+
+class TestHammingMetric:
+    @given(
+        st.lists(st.lists(st.integers(0, 1), min_size=8, max_size=8), min_size=3, max_size=3)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_metric_axioms(self, vectors):
+        a, b, c = (np.array(v) for v in vectors)
+        assert hamming_distance(a, a) == 0
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=6, max_size=6),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mean_pairwise_bounds(self, vectors):
+        sols = [Solution(np.array(v), float(i)) for i, v in enumerate(vectors)]
+        mean = mean_pairwise_distance(sols)
+        assert 0.0 <= mean <= 6.0

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.core.strategy`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy, StrategyBounds
+
+
+class TestStrategy:
+    def test_as_tuple(self):
+        st = Strategy(lt_length=10, nb_drop=3, nb_local=25)
+        assert st.as_tuple() == (10, 3, 25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Strategy(lt_length=-1, nb_drop=1, nb_local=1)
+        with pytest.raises(ValueError):
+            Strategy(lt_length=0, nb_drop=0, nb_local=1)
+        with pytest.raises(ValueError):
+            Strategy(lt_length=0, nb_drop=1, nb_local=0)
+
+    def test_frozen(self):
+        st = Strategy(10, 3, 25)
+        with pytest.raises(AttributeError):
+            st.nb_drop = 5  # type: ignore[misc]
+
+
+class TestBounds:
+    def test_random_within_bounds(self):
+        bounds = StrategyBounds()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            st = bounds.random(rng)
+            assert bounds.lt_length[0] <= st.lt_length <= bounds.lt_length[1]
+            assert bounds.nb_drop[0] <= st.nb_drop <= bounds.nb_drop[1]
+            assert bounds.nb_local[0] <= st.nb_local <= bounds.nb_local[1]
+
+    def test_random_covers_range(self):
+        bounds = StrategyBounds(nb_drop=(1, 4))
+        rng = np.random.default_rng(1)
+        drops = {bounds.random(rng).nb_drop for _ in range(100)}
+        assert drops == {1, 2, 3, 4}
+
+    def test_clip(self):
+        bounds = StrategyBounds(lt_length=(5, 20), nb_drop=(1, 4), nb_local=(10, 40))
+        st = bounds.clip(Strategy(lt_length=100, nb_drop=1, nb_local=5))
+        # nb_local clipped up to 10; nb_local=5 >= 1 so construction passed
+        assert st == Strategy(20, 1, 10)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            StrategyBounds(nb_drop=(3, 2))
+        with pytest.raises(ValueError):
+            StrategyBounds(base_iterations=0)
+
+    def test_nb_it_inverse_proportionality(self):
+        """§4.2 load balancing: Nb_it ∝ 1/Nb_drop."""
+        bounds = StrategyBounds(base_iterations=600)
+        st1 = Strategy(10, 1, 20)
+        st3 = Strategy(10, 3, 20)
+        st6 = Strategy(10, 6, 20)
+        assert bounds.nb_it(st1) == 600
+        assert bounds.nb_it(st3) == 200
+        assert bounds.nb_it(st6) == 100
+
+    def test_nb_it_at_least_one(self):
+        bounds = StrategyBounds(base_iterations=2, nb_drop=(1, 8))
+        assert bounds.nb_it(Strategy(10, 8, 20)) == 1
+
+
+class TestDirectedMutations:
+    def test_diversified_moves_parameters_the_right_way(self):
+        bounds = StrategyBounds()
+        st = Strategy(lt_length=20, nb_drop=3, nb_local=50)
+        div = st.diversified(bounds)
+        assert div.lt_length > st.lt_length
+        assert div.nb_drop > st.nb_drop
+        assert div.nb_local < st.nb_local  # fewer local iterations => lower nb_it share
+
+    def test_intensified_moves_parameters_the_right_way(self):
+        bounds = StrategyBounds()
+        st = Strategy(lt_length=20, nb_drop=3, nb_local=50)
+        inten = st.intensified(bounds)
+        assert inten.lt_length < st.lt_length
+        assert inten.nb_drop < st.nb_drop
+        assert inten.nb_local > st.nb_local
+
+    def test_mutations_respect_bounds(self):
+        bounds = StrategyBounds()
+        st = Strategy(lt_length=50, nb_drop=8, nb_local=10)  # at diversified edge
+        div = st.diversified(bounds, intensity=1.0)
+        assert div.lt_length <= bounds.lt_length[1]
+        assert div.nb_drop <= bounds.nb_drop[1]
+        assert div.nb_local >= bounds.nb_local[0]
+        st2 = Strategy(lt_length=5, nb_drop=1, nb_local=100)  # intensified edge
+        inten = st2.intensified(bounds, intensity=1.0)
+        assert inten.lt_length >= bounds.lt_length[0]
+        assert inten.nb_drop >= bounds.nb_drop[0]
+        assert inten.nb_local <= bounds.nb_local[1]
+
+    def test_mutation_intensity_validation(self):
+        bounds = StrategyBounds()
+        st = Strategy(10, 2, 20)
+        with pytest.raises(ValueError):
+            st.diversified(bounds, intensity=0.0)
+        with pytest.raises(ValueError):
+            st.intensified(bounds, intensity=1.5)
+
+    def test_diversify_then_intensify_round_trip_stays_in_bounds(self):
+        bounds = StrategyBounds()
+        rng = np.random.default_rng(3)
+        st = bounds.random(rng)
+        for _ in range(20):
+            st = st.diversified(bounds) if rng.random() < 0.5 else st.intensified(bounds)
+            assert bounds.clip(st) == st

@@ -1,0 +1,142 @@
+"""Unit tests for the FP-57 / GK / MK benchmark suites and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import (
+    FP57_DIMENSIONS,
+    GK_GROUPS,
+    attach_optimum,
+    available,
+    fp57_instance,
+    fp57_suite,
+    get_instance,
+    gk_group,
+    gk_instance,
+    gk_suite,
+    mk_suite,
+)
+
+
+class TestFP57:
+    def test_exactly_57_problems(self):
+        assert len(FP57_DIMENSIONS) == 57
+        assert len(fp57_suite()) == 57
+
+    def test_published_shape_envelope(self):
+        """Paper: n from 6 up to 105, m from 2 up to 30."""
+        ms = [m for m, _ in FP57_DIMENSIONS]
+        ns = [n for _, n in FP57_DIMENSIONS]
+        assert min(ns) == 6 and max(ns) == 105
+        assert min(ms) == 2 and max(ms) == 30
+
+    def test_instances_deterministic(self):
+        a = fp57_instance(10)
+        b = fp57_instance(10)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            fp57_instance(57)
+        with pytest.raises(IndexError):
+            fp57_instance(-1)
+
+    def test_optimum_attachment(self):
+        inst = fp57_instance(0, with_optimum=True)
+        assert inst.optimum is not None
+        # proven optimum must dominate a heuristic
+        from repro.core import greedy_solution
+
+        assert inst.optimum >= greedy_solution(inst).value
+
+    def test_attach_optimum_cached(self):
+        a = fp57_instance(1, with_optimum=True)
+        b = attach_optimum(fp57_instance(1))
+        assert a.optimum == b.optimum
+
+    def test_attach_rejects_foreign_instance(self, small_instance):
+        with pytest.raises(ValueError):
+            attach_optimum(small_instance)
+
+    def test_names(self):
+        inst = fp57_instance(0)
+        assert inst.name == "FP01-2x6"
+
+
+class TestGK:
+    def test_24_problems_in_7_groups(self):
+        assert len(gk_suite()) == 24
+        assert len(GK_GROUPS) == 7
+
+    def test_size_envelope(self):
+        """Paper: sizes from 3*10 up to 25*500."""
+        suite = gk_suite()
+        shapes = [inst.shape for inst in suite]
+        assert (3, 10) in shapes
+        assert (25, 500) in shapes
+        assert all(3 <= m <= 25 and 10 <= n <= 500 for m, n in shapes)
+
+    def test_group_lookup(self):
+        group = gk_group("9to14")
+        assert len(group) == 6
+        assert all(inst.n_constraints == 10 for inst in group)
+
+    def test_group_unknown(self):
+        with pytest.raises(KeyError):
+            gk_group("nope")
+
+    def test_instance_by_number_matches_suite(self):
+        suite = gk_suite()
+        for k in (1, 5, 13, 24):
+            np.testing.assert_array_equal(
+                gk_instance(k).weights, suite[k - 1].weights
+            )
+
+    def test_instance_number_bounds(self):
+        with pytest.raises(IndexError):
+            gk_instance(25)
+
+    def test_last_two_differ_in_tightness(self):
+        """Problems 23 and 24 stand in for the two individually-reported
+        large instances — one tighter, one looser."""
+        p23, p24 = gk_instance(23), gk_instance(24)
+        assert p23.shape == p24.shape == (25, 500)
+        assert p23.capacities.sum() < p24.capacities.sum()
+
+
+class TestMK:
+    def test_five_problems(self):
+        suite = mk_suite()
+        assert [i.name for i in suite] == ["MK1", "MK2", "MK3", "MK4", "MK5"]
+
+    def test_large_sizes(self):
+        for inst in mk_suite():
+            assert inst.n_items >= 250
+            assert inst.n_constraints >= 10
+
+
+class TestRegistry:
+    def test_available_count(self):
+        assert len(available()) == 57 + 24 + 5
+
+    def test_lookup_families(self):
+        assert get_instance("FP05").name.startswith("FP05")
+        assert get_instance("GK10").name.startswith("GK10")
+        assert get_instance("MK4").name == "MK4"
+
+    def test_case_insensitive(self):
+        assert get_instance("gk03").name == get_instance("GK03").name
+
+    def test_bad_names(self):
+        with pytest.raises(KeyError):
+            get_instance("XX1")
+        with pytest.raises(KeyError):
+            get_instance("FP99")
+        with pytest.raises(KeyError):
+            get_instance("MK9")
+
+    def test_every_advertised_name_resolves(self):
+        for name in available()[:10] + available()[-10:]:
+            assert get_instance(name) is not None

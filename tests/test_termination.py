@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.core.termination`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Budget
+
+
+class TestBudget:
+    def test_unlimited_never_exhausts(self):
+        b = Budget.unlimited()
+        assert not b.exhausted(evaluations=10**12, moves=10**12, best_value=1e18)
+
+    def test_max_evaluations(self):
+        b = Budget(max_evaluations=100)
+        assert not b.exhausted(evaluations=99, moves=0, best_value=0)
+        assert b.exhausted(evaluations=100, moves=0, best_value=0)
+
+    def test_max_moves(self):
+        b = Budget(max_moves=5)
+        assert not b.exhausted(evaluations=0, moves=4, best_value=0)
+        assert b.exhausted(evaluations=0, moves=5, best_value=0)
+
+    def test_target_value(self):
+        b = Budget(target_value=50.0)
+        assert not b.exhausted(evaluations=0, moves=0, best_value=49.9)
+        assert b.exhausted(evaluations=0, moves=0, best_value=50.0)
+
+    def test_wall_seconds(self):
+        b = Budget(wall_seconds=0.0).start()
+        assert b.exhausted(evaluations=0, moves=0, best_value=0)
+
+    def test_wall_clock_auto_starts(self):
+        b = Budget(wall_seconds=100.0)
+        # First check arms the clock rather than crashing.
+        assert not b.exhausted(evaluations=0, moves=0, best_value=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_evaluations=-1)
+        with pytest.raises(ValueError):
+            Budget(max_moves=-1)
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-0.1)
+
+    def test_scaled(self):
+        b = Budget(max_evaluations=100, max_moves=10, target_value=5.0)
+        half = b.scaled(0.5)
+        assert half.max_evaluations == 50
+        assert half.max_moves == 5
+        assert half.target_value == 5.0
+
+    def test_scaled_preserves_none(self):
+        b = Budget(max_evaluations=100)
+        half = b.scaled(0.5)
+        assert half.max_moves is None
+        assert half.wall_seconds is None
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Budget(max_evaluations=10).scaled(0.0)
+
+    def test_start_chains(self):
+        b = Budget(wall_seconds=10.0)
+        assert b.start() is b

@@ -1,0 +1,49 @@
+"""Tests for wall-clock budgets in the variant drivers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.variants import solve_cts2, solve_seq
+
+
+class TestWallClockBudgets:
+    def test_seq_respects_wall_budget(self, small_instance):
+        t0 = time.perf_counter()
+        result = solve_seq(small_instance, rng_seed=0, wall_seconds=0.15)
+        elapsed = time.perf_counter() - t0
+        assert result.best.is_feasible(small_instance)
+        # generous upper bound: budget + per-move overhead
+        assert elapsed < 2.0
+
+    def test_cts2_respects_wall_budget(self, small_instance):
+        t0 = time.perf_counter()
+        result = solve_cts2(
+            small_instance, n_slaves=2, n_rounds=2, rng_seed=0, wall_seconds=0.1
+        )
+        elapsed = time.perf_counter() - t0
+        assert result.best.is_feasible(small_instance)
+        assert elapsed < 3.0
+
+    def test_exactly_one_budget_kind(self, small_instance):
+        with pytest.raises(ValueError, match="exactly one"):
+            solve_seq(
+                small_instance, rng_seed=0, max_evaluations=100, wall_seconds=0.1
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            solve_cts2(
+                small_instance,
+                rng_seed=0,
+                virtual_seconds=0.1,
+                wall_seconds=0.1,
+            )
+
+    def test_nonpositive_wall_rejected(self, small_instance):
+        with pytest.raises(ValueError, match="positive"):
+            solve_seq(small_instance, rng_seed=0, wall_seconds=0.0)
+
+    def test_wall_budget_does_real_work(self, small_instance):
+        result = solve_seq(small_instance, rng_seed=0, wall_seconds=0.1)
+        assert result.total_evaluations > 1_000
