@@ -21,7 +21,6 @@ import pytest
 
 from repro.analysis import render_generic
 from repro.core import (
-    Budget,
     MoveEngine,
     SearchState,
     TabuList,

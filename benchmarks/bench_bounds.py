@@ -22,7 +22,6 @@ import pytest
 from repro.analysis import render_generic
 from repro.exact import (
     SurrogateBound,
-    branch_and_bound,
     dantzig_bound,
     lagrangian_bound,
     solve_lp_relaxation,

@@ -15,12 +15,23 @@ get first-class benchmarks rather than ad-hoc %timeit runs.
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core import MoveEngine, SearchState, TabuList, greedy_solution
-from repro.instances import mk_suite
+from repro.instances import gk_suite, mk_suite
 from repro.parallel import payload_nbytes
+
+#: The tracked-throughput instance: GK24, 25 constraints x 500 items — the
+#: largest Table-1 problem, so per-move cost is dominated by the candidate
+#: scans the kernel layer vectorizes.  Index into gk_suite() (0-based).
+PINNED_GK_INDEX = 23
 
 
 @pytest.fixture(scope="module")
@@ -85,3 +96,118 @@ def test_kernel_payload_serialization(benchmark, big_state):
     solution = big_state.snapshot()
     nbytes = benchmark(payload_nbytes, solution)
     assert nbytes > 0
+
+
+# ---------------------------------------------------------------------------
+# Tracked throughput: ``python benchmarks/bench_kernels.py --label <name>``
+# drives the full compound-move hot path (drop + adds + tabu bookkeeping) on
+# the pinned GK instance and folds moves/sec + evals/sec into
+# ``benchmarks/results/BENCH_kernels.json``.  Running the same script with
+# PYTHONPATH pointed at an older tree records that tree under its own label,
+# so the JSON carries the before/after pair and the derived speedup.
+# ---------------------------------------------------------------------------
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_kernels.json"
+
+
+def measure_hot_path(seconds: float = 3.0, rng_seed: int = 0, repeats: int = 3) -> dict:
+    """Time the compound-move loop on the pinned GK instance.
+
+    Runs ``repeats`` independent timing windows and reports the fastest one
+    (the standard defense against scheduler noise on shared hosts).
+    """
+    instance = gk_suite()[PINNED_GK_INDEX]
+    state = SearchState.from_solution(instance, greedy_solution(instance))
+    tabu = TabuList(instance.n_items, 10)
+    engine = MoveEngine(state, tabu, np.random.default_rng(rng_seed))
+    best = state.value
+
+    def one_move() -> None:
+        nonlocal best
+        record = engine.apply(2, best)
+        best = max(best, state.value)
+        tabu.tick()
+        if record.touched:
+            tabu.make_tabu(np.asarray(record.touched))
+
+    for _ in range(200):  # warm caches / allocator before timing
+        one_move()
+
+    windows = []
+    for _ in range(max(1, repeats)):
+        moves = 0
+        evals_start = engine.evaluations
+        t0 = time.perf_counter()
+        deadline = t0 + seconds
+        while time.perf_counter() < deadline:
+            for _ in range(50):
+                one_move()
+            moves += 50
+        elapsed = time.perf_counter() - t0
+        evaluations = engine.evaluations - evals_start
+        windows.append((moves / elapsed, evaluations / elapsed, moves, evaluations, elapsed))
+
+    assert state.is_feasible
+    moves_rate, evals_rate, moves, evaluations, elapsed = max(windows)
+    return {
+        "instance": instance.name,
+        "seconds": round(elapsed, 3),
+        "repeats": max(1, repeats),
+        "moves": moves,
+        "evaluations": int(evaluations),
+        "moves_per_sec": round(moves_rate, 1),
+        "evals_per_sec": round(evals_rate, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default="kernel_hot_path",
+        help="key to store this run under (e.g. seed_hot_path for the "
+        "pre-kernel tree, kernel_hot_path for the current one)",
+    )
+    parser.add_argument("--seconds", type=float, default=3.0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--keep-best",
+        action="store_true",
+        help="only overwrite an existing entry for this label if the new "
+        "run is faster — lets interleaved seed/kernel invocations defeat "
+        "slow drift in host load",
+    )
+    args = parser.parse_args(argv)
+
+    data: dict = {"pinned_gk_index": PINNED_GK_INDEX, "runs": {}}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+        data.setdefault("runs", {})
+
+    result = measure_hot_path(seconds=args.seconds)
+    result["python"] = platform.python_version()
+    previous = data["runs"].get(args.label)
+    if (
+        args.keep_best
+        and previous is not None
+        and previous["moves_per_sec"] >= result["moves_per_sec"]
+    ):
+        result = previous
+    data["runs"][args.label] = result
+
+    seed = data["runs"].get("seed_hot_path")
+    kernel = data["runs"].get("kernel_hot_path")
+    if seed and kernel:
+        data["speedup"] = {
+            "moves_per_sec": round(kernel["moves_per_sec"] / seed["moves_per_sec"], 2),
+            "evals_per_sec": round(kernel["evals_per_sec"] / seed["evals_per_sec"], 2),
+        }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"{args.label}: {result['moves_per_sec']:.0f} moves/s, "
+          f"{result['evals_per_sec']:.0f} evals/s -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()

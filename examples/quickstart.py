@@ -38,7 +38,7 @@ def main() -> None:
     print(f"CTS2 best value:  {result.best.value:,.0f}")
     print(f"  gap to LP bound: {deviation_percent(result.best.value, lp.value):.2f}%"
           " (true optimality gap is smaller: LP overestimates)")
-    print(f"  improvement over greedy: "
+    print("  improvement over greedy: "
           f"{100 * (result.best.value - greedy.value) / greedy.value:.2f}%")
     print(f"  rounds: {result.n_rounds}, total evaluations: "
           f"{result.total_evaluations:,}, simulated time: "

@@ -98,7 +98,6 @@ def reactive_tabu_search(
     best = state.snapshot()
 
     visited: dict[bytes, int] = {}  # solution digest -> visit count
-    repetition_counts = 0
     moves = 0
     revisits = 0
     escapes = 0
@@ -130,7 +129,6 @@ def reactive_tabu_search(
             if count >= config.escape_after:
                 # Escape: forced random diversification walk.
                 escapes += 1
-                repetition_counts += 1
                 for _ in range(config.escape_steps):
                     packed = state.packed_items()
                     if packed.size == 0:

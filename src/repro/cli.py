@@ -51,7 +51,7 @@ def _load_instance(spec: str) -> MKPInstance:
     except KeyError as exc:
         raise SystemExit(
             f"error: {spec!r} is neither a file nor a known instance name "
-            f"(try `python -m repro suite`)"
+            "(try `python -m repro suite`)"
         ) from exc
 
 
@@ -151,7 +151,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(result.summary())
     reference = instance.optimum or instance.best_known
     if reference:
-        print(f"deviation vs reference: "
+        print("deviation vs reference: "
               f"{deviation_percent(result.best.value, reference):.3f}%")
     if args.trace:
         for stats in result.rounds:

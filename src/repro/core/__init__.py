@@ -13,6 +13,7 @@ Public surface:
 from .construction import fill_greedily, greedy_solution, random_solution, repair
 from .diversification import DiversificationConfig, diversify
 from .instance import MKPInstance
+from .kernels import EvalKernel, KernelCounters, drop_ratios
 from .intensification import (
     IntensificationStats,
     strategic_oscillation,
@@ -34,6 +35,9 @@ from .termination import Budget
 
 __all__ = [
     "MKPInstance",
+    "EvalKernel",
+    "KernelCounters",
+    "drop_ratios",
     "Solution",
     "SearchState",
     "hamming_distance",

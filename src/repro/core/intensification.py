@@ -21,18 +21,33 @@ from __future__ import annotations
 import numpy as np
 
 from .construction import fill_greedily, repair
+from .kernels import KernelCounters
 from .solution import SearchState, Solution
 
 __all__ = ["swap_intensification", "strategic_oscillation", "IntensificationStats"]
 
 
 class IntensificationStats:
-    """Bookkeeping shared by both procedures (feeds the farm cost model)."""
+    """Bookkeeping shared by both procedures (feeds the farm cost model).
 
-    def __init__(self) -> None:
-        self.evaluations = 0
+    Evaluation counts are written to a :class:`~repro.core.kernels.KernelCounters`
+    (``intensify_evaluations``), so a thread's move engine and its
+    intensification phases share one ledger; pass the thread's counters to
+    join it, or omit them for a standalone ledger.
+    """
+
+    def __init__(self, counters: KernelCounters | None = None) -> None:
+        self.counters = counters if counters is not None else KernelCounters()
         self.swaps_applied = 0
         self.oscillations = 0
+
+    @property
+    def evaluations(self) -> int:
+        return self.counters.intensify_evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.counters.intensify_evaluations = int(value)
 
 
 def swap_intensification(

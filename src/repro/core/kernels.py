@@ -1,0 +1,313 @@
+"""Preallocated flat-array evaluation kernel for the tabu-search hot path.
+
+Every layer of the search — the mutable :class:`~repro.core.solution.SearchState`,
+the Drop/Add :class:`~repro.core.moves.MoveEngine`, the §3.2 intensification
+procedures, and the low-level parallel evaluators — ultimately needs the same
+handful of O(m)/O(m·k) primitives: incremental load/slack maintenance, the
+most-saturated constraint ``i*``, the "which free items still fit" scan, and
+the drop-rule ratio ``a_{i*,j} / c_j``.  Before this module each of them
+reimplemented a piece of that, allocating fresh arrays per move.
+
+:class:`EvalKernel` owns the per-thread buffers once — the 0/1 vector ``x``,
+the load and slack vectors, the exclusion bitmask, and a ratio scratch — and
+keeps two incrementally-invalidated caches:
+
+``i*`` (:meth:`most_saturated_constraint`)
+    ``argmin`` of the slack vector, recomputed at most once per state change
+    instead of once per candidate scan.
+
+the fitting pool (:meth:`fitting_items`)
+    Within a run of :meth:`add` calls the slack vector only decreases
+    (IEEE-754 rounding is monotone, so this holds bit-for-bit in floats, not
+    just in exact arithmetic), hence the set of fitting items only shrinks.
+    The kernel therefore rescans *only the previous survivors* on each query
+    of an Add pass, turning the per-add cost from O(m·n_free) into O(m·k)
+    for a rapidly shrinking k.  Any :meth:`drop`, :meth:`reset`, or change
+    of the exclusion mask invalidates the pool and forces a full rescan.
+
+Exactness contract: every result the kernel returns is bit-identical to the
+naive recomputation it replaces (same elementwise comparisons, same
+ascending candidate order, same division) — the Figure-1/Figure-2
+conformance tests and ``tests/test_golden_trajectory.py`` pin this.
+
+:class:`KernelCounters` is the unified evaluation ledger.  The farm's
+virtual-time cost model charges CPU seconds per candidate evaluation, so
+the counter flow must be exact: the move engine counts into
+``move_evaluations``, the intensification procedures into
+``intensify_evaluations``, and budget checks read :attr:`KernelCounters.total`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .instance import MKPInstance
+
+__all__ = ["EvalKernel", "KernelCounters", "drop_ratios", "FIT_EPS"]
+
+#: Feasibility tolerance of the fitting scan (matches the historical
+#: ``SearchState.fitting_items`` comparison).
+FIT_EPS = 1e-9
+
+
+@dataclass
+class KernelCounters:
+    """Unified candidate-evaluation ledger for one search thread.
+
+    Replaces the ad-hoc ``MoveEngine.evaluations`` field, the
+    ``IntensificationStats.evaluations`` field, and the
+    ``total_evaluations()`` closure the tabu-search loop used to sum them.
+    ``total`` is what the farm cost model and evaluation budgets consume.
+    """
+
+    move_evaluations: int = 0
+    intensify_evaluations: int = 0
+    moves: int = 0
+    snapshots: int = 0
+
+    @property
+    def total(self) -> int:
+        """All candidate evaluations charged to this thread so far."""
+        return self.move_evaluations + self.intensify_evaluations
+
+    def reset(self) -> None:
+        self.move_evaluations = 0
+        self.intensify_evaluations = 0
+        self.moves = 0
+        self.snapshots = 0
+
+
+def drop_ratios(
+    weights_row: np.ndarray,
+    profits: np.ndarray,
+    candidates: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The drop-rule score ``a_{i*,j} / c_j`` over ``candidates``.
+
+    This is the one scoring formula shared by the Drop rule, the Add rule
+    (argmin instead of argmax), and the low-level parallel evaluators in
+    :mod:`repro.parallel.neighborhood_eval`.
+    """
+    return np.divide(weights_row[candidates], profits[candidates], out=out)
+
+
+class EvalKernel:
+    """Flat-array evaluation state for one search thread.
+
+    Maintains the invariants ``load == A @ x``, ``slack == b - load`` and
+    ``value == c @ x`` under O(m) :meth:`add`/:meth:`drop` updates.  All
+    buffers are preallocated at construction; the hot path allocates only
+    the (small) candidate index arrays it returns.
+    """
+
+    __slots__ = (
+        "instance",
+        "counters",
+        "x",
+        "load",
+        "slack",
+        "value",
+        "_i_star",
+        "_ratio",
+        "_excluded",
+        "_n_excluded",
+        "_pool",
+        "_pool_w",
+        "_weightsT",
+        "_ratio_matrix",
+        "_ratio_rows",
+        "_free",
+        "_le_buf",
+        "_fits_buf",
+        "_excl_idx",
+    )
+
+    def __init__(self, instance: MKPInstance, counters: KernelCounters | None = None) -> None:
+        m, n = instance.shape
+        self.instance = instance
+        self.counters = counters if counters is not None else KernelCounters()
+        self.x = np.zeros(n, dtype=np.int8)
+        self.load = np.zeros(m, dtype=np.float64)
+        self.slack = instance.capacities.copy()
+        self.value: float = 0.0
+        #: cached argmin of slack; -1 = invalid
+        self._i_star = -1
+        #: scratch for candidate score vectors (views of length k are handed out)
+        self._ratio = np.empty(n, dtype=np.float64)
+        #: per-move exclusion bitmask (items barred from the Add scan)
+        self._excluded = np.zeros(n, dtype=bool)
+        self._n_excluded = 0
+        #: surviving fitting candidates of the current Add pass; None = invalid
+        self._pool: np.ndarray | None = None
+        #: weight rows (one contiguous length-m row per pool candidate)
+        self._pool_w: np.ndarray | None = None
+        #: C-contiguous (n, m) transpose: gathering an item's weight column
+        #: becomes a contiguous row read instead of an n-strided one
+        self._weightsT = np.ascontiguousarray(instance.weights.T)
+        #: precomputed drop-rule ratios ``a_{i,j} / c_j`` — scoring a scan is
+        #: then a single row gather instead of two gathers plus a divide
+        self._ratio_matrix = instance.weights / instance.profits
+        self._ratio_rows = list(self._ratio_matrix)
+        #: ``x == 0`` maintained incrementally (one bool write per add/drop)
+        self._free = np.ones(n, dtype=bool)
+        #: full-scan scratch: elementwise <= over (n, m), and its row-AND
+        self._le_buf = np.empty((n, m), dtype=bool)
+        self._fits_buf = np.empty(n, dtype=bool)
+        #: indices currently excluded (mirror of the bitmask, for cheap unset)
+        self._excl_idx: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # State loading
+    # ------------------------------------------------------------------ #
+    def reset(self, x: np.ndarray | None = None) -> None:
+        """Load a 0/1 vector (all-zero when ``None``); recomputes from scratch.
+
+        Uses the same ``A @ x`` matmul as the historical ``SearchState``
+        constructor so the float results are bit-identical.
+        """
+        if x is None:
+            self.x[:] = 0
+            self.load[:] = 0.0
+            self.value = 0.0
+        else:
+            self.x[:] = x
+            self.load[:] = self.instance.weights @ self.x.astype(np.float64)
+            self.value = float(self.instance.profits @ self.x.astype(np.float64))
+        np.equal(self.x, 0, out=self._free)
+        np.subtract(self.instance.capacities, self.load, out=self.slack)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._i_star = -1
+        self._pool = None
+        self._pool_w = None
+
+    # ------------------------------------------------------------------ #
+    # Incremental moves
+    # ------------------------------------------------------------------ #
+    def add(self, j: int) -> None:
+        """Set ``x_j = 1``; O(m).  The fitting pool stays valid (it can only
+        shrink while slack decreases); the rescan's ``_free`` filter drops
+        ``j`` itself."""
+        if self.x[j]:
+            raise ValueError(f"item {j} is already in the knapsack")
+        self.x[j] = 1
+        self._free[j] = False
+        self.load += self._weightsT[j]
+        np.subtract(self.instance.capacities, self.load, out=self.slack)
+        self.value += self.instance.profits[j]
+        self._i_star = -1
+
+    def drop(self, j: int) -> None:
+        """Set ``x_j = 0``; O(m).  Invalidates the fitting pool (slack grew)."""
+        if not self.x[j]:
+            raise ValueError(f"item {j} is not in the knapsack")
+        self.x[j] = 0
+        self._free[j] = True
+        self.load -= self._weightsT[j]
+        np.subtract(self.instance.capacities, self.load, out=self.slack)
+        self.value -= self.instance.profits[j]
+        self._invalidate()
+
+    # ------------------------------------------------------------------ #
+    # Cached queries
+    # ------------------------------------------------------------------ #
+    def most_saturated_constraint(self) -> int:
+        """``i* = argmin_i slack_i``, cached until the next add/drop/reset."""
+        if self._i_star < 0:
+            self._i_star = int(self.slack.argmin())
+        return self._i_star
+
+    def packed_items(self) -> np.ndarray:
+        return self.x.nonzero()[0]
+
+    def free_items(self) -> np.ndarray:
+        return (self.x == 0).nonzero()[0]
+
+    @property
+    def is_feasible(self) -> bool:
+        return bool(np.all(self.load <= self.instance.capacities + FIT_EPS))
+
+    # ------------------------------------------------------------------ #
+    # Exclusion mask (one write per compound move, not one np.isin per add)
+    # ------------------------------------------------------------------ #
+    def set_exclusions(self, items) -> None:
+        """Bar ``items`` from the fitting scan (``None``/empty clears).
+
+        Changing the mask invalidates the fitting pool; the Add pass sets it
+        once per compound move, so the hot path pays this O(1) + O(|items|).
+        """
+        if self._n_excluded:
+            self._excluded[self._excl_idx] = False
+            self._excl_idx = None
+            self._n_excluded = 0
+            self._pool = None
+            self._pool_w = None
+        if items is not None and len(items) > 0:
+            idx = np.fromiter(items, dtype=np.intp) if not isinstance(
+                items, np.ndarray
+            ) else items.astype(np.intp, copy=False)
+            self._excluded[idx] = True
+            self._excl_idx = idx
+            self._n_excluded = int(idx.size)
+            self._pool = None
+            self._pool_w = None
+
+    def clear_exclusions(self) -> None:
+        self.set_exclusions(None)
+
+    # ------------------------------------------------------------------ #
+    # The fitting scan
+    # ------------------------------------------------------------------ #
+    def fitting_items(self) -> np.ndarray:
+        """Free, non-excluded items that fit the current slack, ascending.
+
+        Pool-accelerated: inside an Add pass only the previous survivors are
+        rescanned, and their weight rows stay gathered in ``_pool_w`` so the
+        rescan is one contiguous (k, m) broadcast with no re-gather.  The
+        result array must not be mutated by callers.
+        """
+        if self._pool is not None:
+            # Rescan only the previous survivors: one fused mask drops both
+            # the just-packed item and anything the shrunken slack rejects.
+            cand = self._pool
+            w = self._pool_w
+            if cand.size:
+                fits = (w <= self.slack + FIT_EPS).all(axis=1)
+                fits &= self._free[cand]
+                if not fits.all():
+                    cand = cand[fits]
+                    w = w[fits]
+        else:
+            # Full scan without gathering: compare every item's row against
+            # slack in the preallocated (n, m) scratch, AND the rows, then
+            # mask out packed/excluded items.  Only survivors get gathered
+            # (they seed the pool for the rest of the Add pass).
+            np.less_equal(self._weightsT, self.slack + FIT_EPS, out=self._le_buf)
+            fits = np.logical_and.reduce(self._le_buf, axis=1, out=self._fits_buf)
+            fits &= self._free
+            if self._n_excluded:
+                fits[self._excl_idx] = False
+            cand = fits.nonzero()[0]
+            w = self._weightsT[cand]
+        self._pool = cand
+        self._pool_w = w
+        return cand
+
+    # ------------------------------------------------------------------ #
+    # Candidate scoring
+    # ------------------------------------------------------------------ #
+    def scores(self, i_star: int, candidates: np.ndarray) -> np.ndarray:
+        """Drop-rule ratios for ``candidates``, written into the scratch buffer.
+
+        The returned array is a view of the kernel's scratch: consume it
+        before the next :meth:`scores` call.  The division was precomputed
+        into ``_ratio_matrix`` at construction (identical IEEE-754 results),
+        so a scan costs a single row gather.
+        """
+        return self._ratio_rows[i_star].take(
+            candidates, out=self._ratio[: candidates.size]
+        )

@@ -12,7 +12,10 @@ successor ``X'`` as two steps:
 The :class:`MoveEngine` also counts *candidate evaluations*: the virtual-time
 farm model charges slave CPU time proportional to this counter, which is how
 the reproduction gets deterministic "execution times" out of a single host
-core (see ``repro.farm``).
+core (see ``repro.farm``).  The counts flow into the thread's shared
+:class:`~repro.core.kernels.KernelCounters` (``move_evaluations``), and all
+candidate scoring goes through the state's preallocated
+:class:`~repro.core.kernels.EvalKernel`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .kernels import KernelCounters
 from .solution import SearchState
 from .tabu_list import TabuList
 
@@ -50,7 +54,8 @@ class MoveEngine:
     Parameters
     ----------
     state:
-        The mutable search state the engine operates on.
+        The mutable search state the engine operates on.  Candidate scoring
+        and the fitting scan run through ``state.kernel``.
     tabu:
         Short-term memory consulted for both steps.
     rng:
@@ -79,8 +84,17 @@ class MoveEngine:
         #: measurably improves the FP-57 optimum-hit rate (see DESIGN.md).
         #: 1 recovers the fully greedy deterministic rule.
         self.add_candidates = int(add_candidates)
-        #: cumulative number of candidate evaluations (farm cost model input)
-        self.evaluations = 0
+        #: Shared per-thread evaluation ledger (owned by the state's kernel).
+        self.counters: KernelCounters = state.kernel.counters
+
+    @property
+    def evaluations(self) -> int:
+        """Cumulative candidate evaluations (farm cost model input)."""
+        return self.counters.move_evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.counters.move_evaluations = int(value)
 
     # ------------------------------------------------------------------ #
     # Drop step
@@ -93,28 +107,27 @@ class MoveEngine:
         case, so we fall back to ignoring tabu status (a standard TS escape
         that keeps the thread moving; documented in DESIGN.md §6 notes).
         """
-        packed = self.state.packed_items()
+        kernel = self.state.kernel
+        packed = kernel.packed_items()
         if packed.size == 0:
             return None
-        i_star = self.state.most_saturated_constraint()
+        i_star = kernel.most_saturated_constraint()
         candidates = self.tabu.admissible(packed)
         if candidates.size == 0:
             candidates = packed
-        ratios = (
-            self.state.instance.weights[i_star, candidates]
-            / self.state.instance.profits[candidates]
-        )
-        self.evaluations += int(candidates.size)
+        ratios = kernel.scores(i_star, candidates)
+        self.counters.move_evaluations += int(candidates.size)
         return int(candidates[_argmax_random_tie(ratios, self.rng)])
 
     def drop_step(self, nb_drop: int) -> list[int]:
         """Perform up to ``nb_drop`` drops; returns the dropped indices."""
         dropped: list[int] = []
+        kernel = self.state.kernel
         for _ in range(max(0, int(nb_drop))):
             j = self.select_drop()
             if j is None:
                 break
-            self.state.drop(j)
+            kernel.drop(j)
             dropped.append(j)
         return dropped
 
@@ -136,29 +149,32 @@ class MoveEngine:
         ``exclude`` bars items unconditionally — the compound move passes
         the indices it just dropped, since the tabu list is only updated
         *after* the move (Fig. 1 step 9) and re-adding a just-dropped item
-        would turn the move into a no-op.
+        would turn the move into a no-op.  (:meth:`add_step` installs the
+        exclusion mask once for the whole pass; this entry point re-installs
+        it per call for standalone use.)
         """
-        fitting = self.state.fitting_items()
-        if exclude:
-            fitting = fitting[~np.isin(fitting, list(exclude))]
+        self.state.kernel.set_exclusions(exclude)
+        return self._select_add(best_value)
+
+    def _select_add(self, best_value: float) -> int | None:
+        """The Add selection rule against the kernel's current exclusions."""
+        kernel = self.state.kernel
+        fitting = kernel.fitting_items()
         if fitting.size == 0:
             return None
-        self.evaluations += int(fitting.size)
-        mask = self.tabu.tabu_mask(fitting)
-        allowed = fitting[~mask]
+        self.counters.move_evaluations += fitting.size
+        nontabu = self.tabu.nontabu_mask()[fitting]
+        allowed = fitting[nontabu]
         if allowed.size == 0:
             # Aspiration: a tabu add is allowed if it beats the incumbent.
-            tabu_items = fitting[mask]
-            gains = self.state.value + self.state.instance.profits[tabu_items]
+            tabu_items = fitting[~nontabu]
+            gains = kernel.value + self.state.instance.profits[tabu_items]
             aspire = tabu_items[gains > best_value]
             if aspire.size == 0:
                 return None
             allowed = aspire
-        i_star = self.state.most_saturated_constraint()
-        ratios = (
-            self.state.instance.weights[i_star, allowed]
-            / self.state.instance.profits[allowed]
-        )
+        i_star = kernel.most_saturated_constraint()
+        ratios = kernel.scores(i_star, allowed)
         if self.add_candidates == 1 or allowed.size == 1:
             return int(allowed[_argmin_random_tie(ratios, self.rng)])
         k = min(self.add_candidates, allowed.size)
@@ -168,14 +184,22 @@ class MoveEngine:
     def add_step(
         self, best_value: float, exclude: set[int] | None = None
     ) -> list[int]:
-        """Add items until none can be added; returns the added indices."""
+        """Add items until none can be added; returns the added indices.
+
+        The exclusion mask is written once for the whole pass, and the
+        kernel's fitting pool shrinks monotonically across the adds — the
+        two properties that make the Add loop cheap on large instances.
+        """
+        kernel = self.state.kernel
+        kernel.set_exclusions(exclude)
         added: list[int] = []
         while True:
-            j = self.select_add(best_value, exclude)
+            j = self._select_add(best_value)
             if j is None:
                 break
-            self.state.add(j)
+            kernel.add(j)
             added.append(j)
+        kernel.clear_exclusions()
         return added
 
     # ------------------------------------------------------------------ #
@@ -190,14 +214,14 @@ class MoveEngine:
         """
         record = MoveRecord()
         record.dropped = self.drop_step(nb_drop)
-        record.added = self.add_step(best_value, exclude=set(record.dropped))
+        record.added = self.add_step(best_value, exclude=record.dropped)
+        self.counters.moves += 1
         return record
 
 
 def _argmax_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
     """Index of the maximum, breaking exact ties uniformly at random."""
-    top = values.max()
-    ties = np.flatnonzero(values == top)
+    ties = (values == values.max()).nonzero()[0]
     if ties.size == 1:
         return int(ties[0])
     return int(rng.choice(ties))
@@ -205,8 +229,7 @@ def _argmax_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
 
 def _argmin_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
     """Index of the minimum, breaking exact ties uniformly at random."""
-    bottom = values.min()
-    ties = np.flatnonzero(values == bottom)
+    ties = (values == values.min()).nonzero()[0]
     if ties.size == 1:
         return int(ties[0])
     return int(rng.choice(ties))

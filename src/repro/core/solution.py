@@ -16,12 +16,13 @@ Two classes share the work:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
 from .instance import MKPInstance
+from .kernels import EvalKernel
 
 __all__ = ["Solution", "SearchState", "hamming_distance", "mean_pairwise_distance"]
 
@@ -46,6 +47,22 @@ class Solution:
         x.setflags(write=False)
         object.__setattr__(self, "x", x)
         object.__setattr__(self, "value", float(self.value))
+
+    @classmethod
+    def trusted(cls, x: np.ndarray, value: float) -> "Solution":
+        """No-copy, no-validation constructor for the hot path.
+
+        ``x`` must already be a contiguous 1-D 0/1 ``int8`` array owned by
+        the caller (e.g. a fresh ``SearchState`` snapshot copy); it is
+        frozen in place.  The per-move snapshot path uses this to skip the
+        ``__post_init__`` re-validation and re-copy, which dominates the
+        cost of cheap moves on large instances.
+        """
+        self = object.__new__(cls)
+        x.setflags(write=False)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "value", float(value))
+        return self
 
     @property
     def n_items(self) -> int:
@@ -103,17 +120,18 @@ def mean_pairwise_distance(solutions: Iterable[Solution]) -> float:
     sols = list(solutions)
     if len(sols) < 2:
         return 0.0
-    xs = np.stack([s.x for s in sols]).astype(np.int16)
-    total = 0
-    count = 0
-    for i in range(len(sols)):
-        diffs = np.count_nonzero(xs[i + 1 :] != xs[i], axis=1)
-        total += int(diffs.sum())
-        count += diffs.shape[0]
-    return total / count
+    # For 0/1 vectors the pairwise Hamming matrix is s_i + s_j - 2 * G_ij
+    # with G the Gram matrix — one matmul instead of a Python loop over
+    # rows (this runs every SGP round over P×B elite vectors).  Integer
+    # arithmetic throughout, so the result is exact.
+    xs = np.stack([s.x for s in sols]).astype(np.int64)
+    gram = xs @ xs.T
+    ones = xs.sum(axis=1)
+    total_ordered = int((ones[:, None] + ones[None, :] - 2 * gram).sum())
+    p = len(sols)
+    return total_ordered / (p * (p - 1))
 
 
-@dataclass
 class SearchState:
     """Mutable working state of a tabu-search thread.
 
@@ -125,24 +143,41 @@ class SearchState:
 
     The state may be temporarily *infeasible* during strategic oscillation;
     :attr:`is_feasible` and :attr:`slack` expose the current standing.
+
+    All array state lives in a :class:`~repro.core.kernels.EvalKernel`,
+    which preallocates the buffers once and caches the most-saturated
+    constraint and the Add-pass fitting pool; this class is the validated
+    public face of that kernel.
     """
 
-    instance: MKPInstance
-    x: np.ndarray
-    load: np.ndarray = field(init=False)
-    value: float = field(init=False)
+    __slots__ = ("instance", "kernel")
 
-    def __post_init__(self) -> None:
-        x = np.ascontiguousarray(self.x, dtype=np.int8)
-        if x.shape != (self.instance.n_items,):
+    def __init__(self, instance: MKPInstance, x: np.ndarray) -> None:
+        x = np.ascontiguousarray(x, dtype=np.int8)
+        if x.shape != (instance.n_items,):
             raise ValueError(
-                f"solution vector must have shape ({self.instance.n_items},); got {x.shape}"
+                f"solution vector must have shape ({instance.n_items},); got {x.shape}"
             )
         if not np.all((x == 0) | (x == 1)):
             raise ValueError("solution vector must be 0/1")
-        self.x = x
-        self.load = self.instance.weights @ x.astype(np.float64)
-        self.value = float(self.instance.profits @ x.astype(np.float64))
+        self.instance = instance
+        self.kernel = EvalKernel(instance)
+        self.kernel.reset(x)
+
+    @property
+    def x(self) -> np.ndarray:
+        """The working 0/1 vector (the kernel's buffer; mutate via add/drop)."""
+        return self.kernel.x
+
+    @property
+    def load(self) -> np.ndarray:
+        """Current resource consumption ``A @ x`` (the kernel's buffer)."""
+        return self.kernel.load
+
+    @property
+    def value(self) -> float:
+        """Current objective value ``c @ x``."""
+        return self.kernel.value
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -161,19 +196,11 @@ class SearchState:
     # ------------------------------------------------------------------ #
     def add(self, j: int) -> None:
         """Set ``x_j = 1``; O(m) incremental update of load and value."""
-        if self.x[j]:
-            raise ValueError(f"item {j} is already in the knapsack")
-        self.x[j] = 1
-        self.load += self.instance.weights[:, j]
-        self.value += self.instance.profits[j]
+        self.kernel.add(j)
 
     def drop(self, j: int) -> None:
         """Set ``x_j = 0``; O(m) incremental update of load and value."""
-        if not self.x[j]:
-            raise ValueError(f"item {j} is not in the knapsack")
-        self.x[j] = 0
-        self.load -= self.instance.weights[:, j]
-        self.value -= self.instance.profits[j]
+        self.kernel.drop(j)
 
     def flip(self, j: int) -> None:
         """Toggle ``x_j`` (convenience for swap intensification)."""
@@ -187,12 +214,16 @@ class SearchState:
     # ------------------------------------------------------------------ #
     @property
     def slack(self) -> np.ndarray:
-        """Remaining capacity per constraint ``b - load`` (may be negative)."""
-        return self.instance.capacities - self.load
+        """Remaining capacity per constraint ``b - load`` (may be negative).
+
+        Returns a copy of the kernel's incrementally-maintained buffer so
+        callers can scribble on it without corrupting the search state.
+        """
+        return self.kernel.slack.copy()
 
     @property
     def is_feasible(self) -> bool:
-        return bool(np.all(self.load <= self.instance.capacities + 1e-9))
+        return self.kernel.is_feasible
 
     @property
     def violation(self) -> float:
@@ -202,26 +233,21 @@ class SearchState:
 
     def packed_items(self) -> np.ndarray:
         """Indices with ``x_j == 1``."""
-        return np.flatnonzero(self.x)
+        return self.kernel.packed_items()
 
     def free_items(self) -> np.ndarray:
         """Indices with ``x_j == 0``."""
-        return np.flatnonzero(self.x == 0)
+        return self.kernel.free_items()
 
     def fitting_items(self) -> np.ndarray:
         """Free items that fit in the *current* residual capacity.
 
-        Vectorized: one ``(m, k)`` broadcast comparison over the free
-        columns, per the numpy-vectorization guidance (views, no copies of
-        the weight matrix).
+        Delegates to the kernel's pool-accelerated scan (exclusion-free at
+        this level; the move engine layers its per-move exclusions on top).
         """
-        free = self.free_items()
-        if free.size == 0:
-            return free
-        fits = np.all(
-            self.instance.weights[:, free] <= (self.slack[:, None] + 1e-9), axis=0
-        )
-        return free[fits]
+        if self.kernel._n_excluded:  # pragma: no cover - engine clears after use
+            self.kernel.clear_exclusions()
+        return self.kernel.fitting_items()
 
     def most_saturated_constraint(self) -> int:
         """Index of the constraint with minimum slack.
@@ -231,27 +257,30 @@ class SearchState:
         constraint closest to (or deepest into) its capacity... The intended
         heuristic (and the one used in the cited technical report) is the
         *most saturated* constraint, i.e. the one with the least remaining
-        slack ``b_i - load_i``; we implement argmin of slack.
+        slack ``b_i - load_i``; we implement argmin of slack (cached by the
+        kernel between state changes).
         """
-        return int(np.argmin(self.slack))
+        return self.kernel.most_saturated_constraint()
 
     def snapshot(self) -> Solution:
-        """Freeze the current state into an immutable :class:`Solution`."""
-        return Solution(self.x.copy(), self.value)
+        """Freeze the current state into an immutable :class:`Solution`.
+
+        Uses the trusted fast-constructor: the kernel's invariant makes the
+        copy already-validated, so re-checking it per move would only burn
+        the cycles this layer exists to save.
+        """
+        self.kernel.counters.snapshots += 1
+        return Solution.trusted(self.x.copy(), self.value)
 
     def restore(self, solution: Solution) -> None:
         """Reset the state to ``solution`` (recomputes load/value, O(mn))."""
-        x = solution.x.astype(np.int8).copy()
-        if x.shape != (self.instance.n_items,):
+        if solution.x.shape != (self.instance.n_items,):
             raise ValueError("solution shape does not match instance")
-        self.x = x
-        self.load = self.instance.weights @ x.astype(np.float64)
-        self.value = float(self.instance.profits @ x.astype(np.float64))
+        self.kernel.reset(solution.x)
 
     def recompute(self) -> None:
         """Recompute load/value from scratch (defensive audit helper)."""
-        self.load = self.instance.weights @ self.x.astype(np.float64)
-        self.value = float(self.instance.profits @ self.x.astype(np.float64))
+        self.kernel.reset(self.x.copy())
 
     def copy(self) -> "SearchState":
         return SearchState(self.instance, self.x.copy())

@@ -41,6 +41,13 @@ class TabuList:
         self.tenure = int(tenure)
         self._expiry = np.zeros(n_items, dtype=np.int64)
         self._clock = 0
+        #: cached ``expiry > clock`` over all items; -1 marks it stale.  The
+        #: hot path queries the mask several times per move against the same
+        #: clock, so one full compare per move replaces one gather+compare
+        #: per candidate scan.
+        self._mask = np.zeros(n_items, dtype=bool)
+        self._nontabu = np.ones(n_items, dtype=bool)
+        self._mask_clock = -1
 
     # ------------------------------------------------------------------ #
     # Clock
@@ -66,10 +73,12 @@ class TabuList:
         """
         until = self._clock + self.tenure + int(extra_tenure)
         self._expiry[items] = np.maximum(self._expiry[items], until)
+        self._mask_clock = -1
 
     def clear(self) -> None:
         """Forget all tabu statuses (used at diversification restarts)."""
         self._expiry[:] = 0
+        self._mask_clock = -1
 
     def set_tenure(self, tenure: int) -> None:
         """Change ``Lt_length`` (the master's SGP retunes this dynamically)."""
@@ -84,6 +93,22 @@ class TabuList:
         """Whether ``item`` is currently tabu."""
         return bool(self._expiry[item] > self._clock)
 
+    def _refresh_masks(self) -> None:
+        np.greater(self._expiry, self._clock, out=self._mask)
+        np.logical_not(self._mask, out=self._nontabu)
+        self._mask_clock = self._clock
+
+    def _full_mask(self) -> np.ndarray:
+        if self._mask_clock != self._clock:
+            self._refresh_masks()
+        return self._mask
+
+    def nontabu_mask(self) -> np.ndarray:
+        """Cached ``expiry <= clock`` over all items (do not mutate)."""
+        if self._mask_clock != self._clock:
+            self._refresh_masks()
+        return self._nontabu
+
     def tabu_mask(self, items: np.ndarray | None = None) -> np.ndarray:
         """Boolean tabu mask over ``items`` (all items when ``None``).
 
@@ -91,13 +116,13 @@ class TabuList:
         expression in the hot path.
         """
         if items is None:
-            return self._expiry > self._clock
-        return self._expiry[items] > self._clock
+            return self._full_mask().copy()
+        return self._full_mask()[items]
 
     def admissible(self, items: np.ndarray) -> np.ndarray:
         """Subset of ``items`` that is *not* tabu."""
         items = np.asarray(items)
-        return items[~self.tabu_mask(items)]
+        return items[self.nontabu_mask()[items]]
 
     def active_count(self) -> int:
         """Number of currently tabu items (diagnostics and tests)."""

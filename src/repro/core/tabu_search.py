@@ -159,7 +159,11 @@ class TabuSearch:
         self.engine = MoveEngine(
             self.state, self.tabu, self.rng, add_candidates=self.config.add_candidates
         )
-        self._intensify_stats = IntensificationStats()
+        #: Unified evaluation ledger shared by the move engine, the
+        #: intensification procedures, and the budget checks (owned by the
+        #: state's kernel).
+        self.counters = self.state.kernel.counters
+        self._intensify_stats = IntensificationStats(self.counters)
         self._trace_control_flow: list[str] | None = None
 
     # ------------------------------------------------------------------ #
@@ -196,12 +200,9 @@ class TabuSearch:
         n_diversifications = 0
         trace: list[float] = [self.best.value]
 
-        def total_evaluations() -> int:
-            return self.engine.evaluations + self._intensify_stats.evaluations
-
         def out_of_budget() -> bool:
             return budget.exhausted(
-                evaluations=total_evaluations(),
+                evaluations=self.counters.total,
                 moves=moves,
                 best_value=self.best.value,
             )
@@ -237,7 +238,7 @@ class TabuSearch:
             best=self.best,
             elite=self.elite.to_list(),
             initial_value=initial_value,
-            evaluations=total_evaluations(),
+            evaluations=self.counters.total,
             moves=moves,
             local_search_loops=loops,
             intensifications=n_intensifications,
@@ -262,7 +263,7 @@ class TabuSearch:
         loop_moves = 0
         while stall < nb_local:
             if budget.exhausted(
-                evaluations=self.engine.evaluations + self._intensify_stats.evaluations,
+                evaluations=self.counters.total,
                 moves=moves_so_far + loop_moves,
                 best_value=self.best.value,
             ):
@@ -273,18 +274,27 @@ class TabuSearch:
             if record.hamming_step == 0:
                 # Degenerate: nothing could move (tiny instances); stop.
                 break
-            candidate = self.state.snapshot()
-            # Step 6: incumbent / local-best updates
-            if candidate.value > self.best.value:
+            # Steps 6–7: incumbent / local-best / elite updates.  A Solution
+            # snapshot is only materialized when some memory will retain it —
+            # the value comparisons are plain floats and the elite test is
+            # O(1), so non-qualifying moves (the vast majority late in a run)
+            # skip the O(n) copy entirely.
+            value = self.state.value
+            candidate: Solution | None = None
+            if value > self.best.value:
+                candidate = self.state.snapshot()
                 self.best = candidate
                 x_local = candidate
                 stall = 0
             else:
-                if candidate.value > x_local.value:
+                if value > x_local.value:
+                    candidate = self.state.snapshot()
                     x_local = candidate
                 stall += 1
-            # Step 7: elite array
-            self.elite.offer(candidate)
+            if self.elite.qualifies(value):
+                if candidate is None:
+                    candidate = self.state.snapshot()
+                self.elite.offer(candidate)
             # Step 8: History update
             self.history.record(self.state.x)
             # Step 9: tabu the move's attributes, advance the clock

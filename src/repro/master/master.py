@@ -87,7 +87,7 @@ class MasterConfig:
             raise ValueError("elite_capacity must be >= 1")
         if self.initial_strategies and len(self.initial_strategies) != self.n_slaves:
             raise ValueError(
-                f"initial_strategies must have one entry per slave "
+                "initial_strategies must have one entry per slave "
                 f"({self.n_slaves}); got {len(self.initial_strategies)}"
             )
 
@@ -139,7 +139,6 @@ class MasterProcess:
         cfg = self.config
         clock = VirtualClock(cfg.n_slaves + 1) if self.farm else None
         trace = FarmTrace() if self.farm else None
-        master_rank = cfg.n_slaves
 
         # --- Fig. 2 line 1: distribute problem data ---------------------
         self._note("distribute_problem")
@@ -337,7 +336,7 @@ class MasterProcess:
             dt = self.farm.compute_seconds_on(k, report.evaluations, m)
             t0 = clock.time_of(k)
             clock.advance(k, dt)
-            trace.record(k, EventKind.COMPUTE, t0, t0 + dt, f"round-search")
+            trace.record(k, EventKind.COMPUTE, t0, t0 + dt, "round-search")
             slave_seconds.append(dt)
 
         # Gather: the master's incoming link serializes; it can only start

@@ -15,7 +15,12 @@ shows the process fan-out losing by orders of magnitude at MKP
 neighborhood sizes — the quantitative version of the paper's §2 argument.
 
 The scoring function is the Drop rule's: ``a_{i*, j} / c_j`` over a set of
-candidate items, where ``i*`` is the most saturated constraint.
+candidate items, where ``i*`` is the most saturated constraint.  All three
+evaluators are thin views over :func:`repro.core.kernels.drop_ratios` — the
+same flat-array kernel the in-thread :class:`~repro.core.moves.MoveEngine`
+scores through — so benchmark A10's serial/chunked/process comparison
+measures transport and partitioning overhead against *identical* scoring
+code, not three divergent implementations.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.instance import MKPInstance
+from ..core.kernels import drop_ratios
 from ..core.solution import SearchState
 
 __all__ = [
@@ -40,7 +46,7 @@ def score_candidates(
 ) -> np.ndarray:
     """Vectorized reference kernel: drop-rule ratios for ``candidates``."""
     candidates = np.asarray(candidates, dtype=np.intp)
-    return instance.weights[i_star, candidates] / instance.profits[candidates]
+    return drop_ratios(instance.weights[i_star], instance.profits, candidates)
 
 
 def score_candidates_chunked(
@@ -67,7 +73,7 @@ def score_candidates_chunked(
 
 def _worker_score(args: tuple) -> np.ndarray:  # pragma: no cover - subprocess
     weights_row, profits, candidates = args
-    return weights_row[candidates] / profits[candidates]
+    return drop_ratios(weights_row, profits, candidates)
 
 
 @dataclass
@@ -111,3 +117,16 @@ class ProcessPoolNeighborhoodEvaluator:
 def drop_candidates_of(state: SearchState) -> tuple[int, np.ndarray]:
     """Convenience: the (i*, packed items) pair the Drop rule scores."""
     return state.most_saturated_constraint(), state.packed_items()
+
+
+def score_with_kernel(state: SearchState, candidates: np.ndarray) -> np.ndarray:
+    """Score ``candidates`` through the state's own preallocated kernel.
+
+    This is literally the in-thread hot path (scratch-buffer reuse and the
+    cached ``i*``); the serial baseline in benchmark A10 calls this so the
+    comparison's zero-transport case is the true production code path.
+    Returns a copy (the kernel's scratch is reused by the next call).
+    """
+    candidates = np.asarray(candidates, dtype=np.intp)
+    kernel = state.kernel
+    return kernel.scores(kernel.most_saturated_constraint(), candidates).copy()

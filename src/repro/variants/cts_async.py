@@ -31,7 +31,6 @@ import heapq
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..core.construction import random_solution
 from ..core.instance import MKPInstance

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.construction import fill_greedily, repair
 from ..core.instance import MKPInstance
-from ..core.solution import SearchState, Solution
+from ..core.solution import SearchState
 from ..core.strategy import StrategyBounds
 from ..core.tabu_search import TabuSearch, TabuSearchConfig
 from ..core.termination import Budget

@@ -52,7 +52,7 @@ class TestGantt:
         trace.record(0, EventKind.COMPUTE, 0.0, 0.9)
         trace.record(0, EventKind.BARRIER_WAIT, 0.9, 1.0)
         art = render_gantt(trace, width=10)
-        line = [l for l in art.splitlines() if l.startswith("proc")][0]
+        line = [ln for ln in art.splitlines() if ln.startswith("proc")][0]
         # nine compute bins, one idle bin
         assert line.count("█") == 9
         assert line.count("░") == 1

@@ -32,9 +32,6 @@ class TestEventOrdering:
         result = solve_cts_async(
             small_instance, n_threads=3, rng_seed=0, max_evaluations=budget
         )
-        per_peer: dict[int, float] = {}
-        for s in result.rounds:
-            pass  # rounds are per segment; use trace for peer attribution
         compute = result.trace.per_proc_by_kind(EventKind.COMPUTE)
         # Each peer computed a roughly equal share (equal budgets, same
         # speed): within 2x of one another.

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.instances import cb_cell, cb_instance, cb_suite_index
-from repro.instances.chu_beasley import CB_MS, CB_NS, CB_PER_CELL, CB_RS, CBKey
+from repro.instances.chu_beasley import CB_PER_CELL, CBKey
 
 
 class TestGrid:

@@ -9,7 +9,6 @@ defaults where the script exposes them.
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -8,7 +8,6 @@ matches the pseudocode's ordering.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import Strategy, StrategyBounds, TabuSearch, TabuSearchConfig
 from repro.core.tabu_search import expected_phase_sequence

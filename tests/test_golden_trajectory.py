@@ -1,0 +1,124 @@
+"""Golden-trajectory determinism tests for the kernel-backed hot path.
+
+These fingerprints were recorded from a seed-era run (pre ``EvalKernel``)
+on a fixed GK instance with fixed seeds.  The flat-array kernel layer is a
+*refactor*, not a rewrite: every candidate scan, tie-break and evaluation
+count must be bit-identical to the naive implementation it replaced, so the
+SEQ/ITS/CTS2 value histories, the per-move incumbent trace, and the
+evaluation ledgers must all reproduce exactly — no ``approx`` anywhere.
+
+If an intentional algorithmic change ever invalidates these values, they
+must be re-recorded in the same commit and the change called out loudly;
+silent drift here means the farm's virtual-time results are no longer
+comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.strategy import Strategy
+from repro.core.tabu_search import TabuSearch, TabuSearchConfig
+from repro.instances import gk_suite
+from repro.variants import solve_cts2, solve_its, solve_seq
+
+GOLDEN_SEQ = {
+    "best": 22346.0,
+    "evaluations": 20028,
+    "value_history": [
+        17487.0, 18939.0, 18939.0, 19182.0, 19182.0, 19182.0, 19182.0,
+        19243.0, 20005.0, 20103.0, 20103.0, 20103.0, 20103.0, 20103.0,
+        20103.0, 20103.0, 20103.0, 20103.0, 21858.0, 21858.0, 21858.0,
+        21858.0, 21858.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0,
+        22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0,
+        22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0,
+        22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0, 22346.0,
+    ],
+}
+
+GOLDEN_ITS = {
+    "best": 21380.0,
+    "evaluations": 27761,
+    "value_history": [
+        17889.0, 19648.0, 20237.0, 20659.0, 21061.0, 21376.0, 21376.0,
+        21376.0, 21380.0, 21380.0, 21380.0,
+    ],
+}
+
+GOLDEN_CTS2 = {
+    "best": 21344.0,
+    "evaluations": 27144,
+    "value_history": [
+        17889.0, 19648.0, 19825.0, 20335.0, 20966.0, 20966.0, 21197.0,
+        21197.0, 21197.0, 21247.0, 21344.0,
+    ],
+}
+
+#: One raw tabu-search thread, seed 42, Strategy(8, 2, 10), nb_div=2:
+#: the full 6008-entry incumbent trace is pinned by SHA-256 (of the
+#: float64 byte stream) plus redundant scalar aggregates for diagnosis.
+GOLDEN_THREAD = {
+    "trace_len": 6008,
+    "trace_sum": 136680984.0,
+    "best": 22794.0,
+    "evaluations": 1284961,
+    "moves": 6007,
+    "trace_sha256": "10cda7ea00c892fecb9032e68e7c89e46e5f7f316e3959ede66331f16188d261",
+    "elite": [22794.0, 22786.0, 22778.0, 22728.0, 22714.0, 22688.0, 22663.0, 22647.0],
+}
+
+
+def _instance():
+    return gk_suite()[9]  # GK10, 10*100
+
+
+class TestVariantTrajectories:
+    def test_seq_reproduces_golden_run(self):
+        result = solve_seq(_instance(), rng_seed=7, max_evaluations=20_000)
+        assert result.best.value == GOLDEN_SEQ["best"]
+        assert result.total_evaluations == GOLDEN_SEQ["evaluations"]
+        assert [float(v) for v in result.value_history] == GOLDEN_SEQ["value_history"]
+
+    def test_its_reproduces_golden_run(self):
+        result = solve_its(_instance(), n_slaves=3, rng_seed=7, max_evaluations=8_000)
+        assert result.best.value == GOLDEN_ITS["best"]
+        assert result.total_evaluations == GOLDEN_ITS["evaluations"]
+        assert [float(v) for v in result.value_history] == GOLDEN_ITS["value_history"]
+
+    def test_cts2_reproduces_golden_run(self):
+        result = solve_cts2(_instance(), n_slaves=3, rng_seed=7, max_evaluations=8_000)
+        assert result.best.value == GOLDEN_CTS2["best"]
+        assert result.total_evaluations == GOLDEN_CTS2["evaluations"]
+        assert [float(v) for v in result.value_history] == GOLDEN_CTS2["value_history"]
+
+
+class TestThreadTrace:
+    def test_move_level_trace_is_bit_identical(self):
+        ts = TabuSearch(
+            _instance(), Strategy(8, 2, 10), config=TabuSearchConfig(nb_div=2), rng=42
+        )
+        result = ts.run()
+        trace = np.asarray(result.value_trace, dtype=np.float64)
+        assert len(trace) == GOLDEN_THREAD["trace_len"]
+        assert float(trace.sum()) == GOLDEN_THREAD["trace_sum"]
+        assert result.best.value == GOLDEN_THREAD["best"]
+        assert result.evaluations == GOLDEN_THREAD["evaluations"]
+        assert result.moves == GOLDEN_THREAD["moves"]
+        assert hashlib.sha256(trace.tobytes()).hexdigest() == GOLDEN_THREAD["trace_sha256"]
+        assert [s.value for s in result.elite] == GOLDEN_THREAD["elite"]
+
+    def test_counter_ledger_is_consistent(self):
+        """The unified KernelCounters must agree with the TSResult totals."""
+        ts = TabuSearch(
+            _instance(), Strategy(8, 2, 10), config=TabuSearchConfig(nb_div=2), rng=42
+        )
+        result = ts.run()
+        assert ts.counters.total == result.evaluations
+        assert ts.counters.move_evaluations == ts.engine.evaluations
+        assert ts.counters.intensify_evaluations == ts._intensify_stats.evaluations
+        assert ts.counters.move_evaluations + ts.counters.intensify_evaluations == (
+            result.evaluations
+        )
+        assert ts.counters.moves == result.moves

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Budget
 from repro.exact import branch_and_bound
 from repro.instances import correlated_instance, fp57_instance, uncorrelated_instance
 from repro.master import MasterConfig

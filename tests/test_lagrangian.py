@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MKPInstance, greedy_solution
+from repro.core import greedy_solution
 from repro.exact import (
     branch_and_bound,
     lagrangian_bound,

@@ -9,7 +9,6 @@ from repro.core import (
     MKPInstance,
     PolishStats,
     SearchState,
-    Solution,
     exchange_11,
     exchange_12,
     exchange_21,

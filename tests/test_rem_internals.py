@@ -45,8 +45,6 @@ class TestReverseElimination:
     def test_exactness_against_brute_force(self):
         """REM's tabu set == the set of attributes whose flip recreates a
         previously visited solution (checked by replaying the walk)."""
-        import itertools
-
         moves = [[1], [2, 3], [1], [4], [2]]
         # replay: visited solutions as frozensets of set bits
         visited = [frozenset()]

@@ -12,7 +12,6 @@ from repro.core import (
     TabuSearch,
     TabuSearchConfig,
     greedy_solution,
-    random_solution,
 )
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.farm import FarmModel
 from repro.master import MasterConfig
 from repro.variants import (
     budget_for_virtual_seconds,
