@@ -60,6 +60,10 @@ def result_to_dict(result: ParallelRunResult) -> dict:
                 "improved_slaves": s.improved_slaves,
                 "isp_rules": dict(s.isp_rules),
                 "sgp_actions": dict(s.sgp_actions),
+                "failed_slaves": s.failed_slaves,
+                "backoff_slaves": s.backoff_slaves,
+                "duplicate_reports": s.duplicate_reports,
+                "stale_reports": s.stale_reports,
             }
             for s in result.rounds
         ],
@@ -68,6 +72,7 @@ def result_to_dict(result: ParallelRunResult) -> dict:
         "wall_seconds": result.wall_seconds,
         "n_slaves": result.n_slaves,
         "bytes_sent": result.bytes_sent,
+        "fault_summary": dict(result.fault_summary),
         "value_history": list(result.value_history),
         "trace": trace_events,
     }
@@ -97,6 +102,10 @@ def result_from_dict(data: dict) -> ParallelRunResult:
             improved_slaves=int(s["improved_slaves"]),
             isp_rules=dict(s.get("isp_rules", {})),
             sgp_actions=dict(s.get("sgp_actions", {})),
+            failed_slaves=int(s.get("failed_slaves", 0)),
+            backoff_slaves=int(s.get("backoff_slaves", 0)),
+            duplicate_reports=int(s.get("duplicate_reports", 0)),
+            stale_reports=int(s.get("stale_reports", 0)),
         )
         for s in data["rounds"]
     ]
@@ -111,6 +120,7 @@ def result_from_dict(data: dict) -> ParallelRunResult:
         trace=trace,
         bytes_sent=int(data["bytes_sent"]),
         value_history=[float(v) for v in data["value_history"]],
+        fault_summary={k: int(v) for k, v in data.get("fault_summary", {}).items()},
     )
 
 

@@ -55,6 +55,19 @@ from .sgp import SGPConfig, update_strategies
 __all__ = ["MasterConfig", "MasterProcess"]
 
 
+def _nbytes_by_slave(nbytes: object) -> dict[int, int]:
+    """Normalize a backend's per-round byte ledger to ``{slave_id: bytes}``.
+
+    The bundled backends report dicts; third-party backends implementing the
+    older list convention (index = slave id) keep working.
+    """
+    if isinstance(nbytes, dict):
+        return nbytes
+    if nbytes:
+        return {k: int(v) for k, v in enumerate(nbytes)}  # type: ignore[arg-type]
+    return {}
+
+
 @dataclass(frozen=True)
 class MasterConfig:
     """Everything that parameterizes a master-driven run."""
@@ -77,6 +90,10 @@ class MasterConfig:
     #: master "unloads the user from the task of finding the efficient TS
     #: parameters").
     initial_strategies: tuple = ()
+    #: cap on the exponential respawn backoff: a slave that failed ``f``
+    #: consecutive rounds sits out ``min(2**(f-1), max_backoff_rounds)``
+    #: rounds before the master retasks it
+    max_backoff_rounds: int = 8
 
     def __post_init__(self) -> None:
         if self.n_slaves < 1:
@@ -85,6 +102,8 @@ class MasterConfig:
             raise ValueError("n_rounds must be >= 1")
         if self.elite_capacity < 1:
             raise ValueError("elite_capacity must be >= 1")
+        if self.max_backoff_rounds < 1:
+            raise ValueError("max_backoff_rounds must be >= 1")
         if self.initial_strategies and len(self.initial_strategies) != self.n_slaves:
             raise ValueError(
                 "initial_strategies must have one entry per slave "
@@ -170,6 +189,11 @@ class MasterProcess:
         total_evaluations = 0
         bytes_sent = 0
 
+        # --- slave health: consecutive failures + exponential backoff ---
+        consecutive_failures = [0] * cfg.n_slaves
+        resume_round = [0] * cfg.n_slaves
+        fault_summary: Counter[str] = Counter()
+
         for round_idx in range(cfg.n_rounds):
             # --- Fig. 2: Call SGP and ISP, send, receive ----------------
             round_budget = (
@@ -177,9 +201,16 @@ class MasterProcess:
                 if budget_per_slave is None
                 else budget_per_slave.scaled(1.0 / cfg.n_rounds)
             )
-            tasks = []
+            tasks: list[SlaveTask | None] = []
+            backoff_slaves = 0
             for entry in entries:
-                seed = random_seed_from(derive_rng(self.rng_seed, 1 + round_idx, entry.slave_id))
+                k = entry.slave_id
+                if round_idx < resume_round[k]:
+                    # Still backing off after a failure: no task this round.
+                    tasks.append(None)
+                    backoff_slaves += 1
+                    continue
+                seed = random_seed_from(derive_rng(self.rng_seed, 1 + round_idx, k))
                 tasks.append(
                     SlaveTask(
                         x_init=entry.init_solution,
@@ -187,23 +218,66 @@ class MasterProcess:
                         budget=round_budget if round_budget is not None else Budget.unlimited(),
                         seed=seed,
                         round_index=round_idx,
+                        seq_id=round_idx * cfg.n_slaves + k,
                     )
                 )
             self._note("send_tasks")
-            reports = self.backend.run_round(tasks)
+            raw_reports = self.backend.run_round(tasks)
             self._note("receive_reports")
+
+            # --- idempotent report handling -----------------------------
+            # Accept at most one report per slave per round, keyed by the
+            # (round, seq) ids the task carried; duplicated deliveries and
+            # stale (delayed) reports from earlier rounds are discarded, so
+            # no round ever double-counts a report.
+            accepted: dict[int, SlaveReport] = {}
+            duplicate_reports = 0
+            stale_reports = 0
+            for report in raw_reports:
+                k = report.slave_id
+                expected_seq = round_idx * cfg.n_slaves + k
+                if (
+                    not 0 <= k < cfg.n_slaves
+                    or report.round_index != round_idx
+                    or report.seq_id != expected_seq
+                ):
+                    stale_reports += 1
+                    continue
+                if k in accepted:
+                    duplicate_reports += 1
+                    continue
+                accepted[k] = report
+            reports = [accepted[k] for k in sorted(accepted)]
 
             # --- farm time accounting -----------------------------------
             round_seconds, comm_seconds, slave_seconds = self._charge_round(
                 clock, trace, reports
             )
-            task_nbytes = getattr(self.backend, "last_task_nbytes", [])
-            report_nbytes = getattr(self.backend, "last_report_nbytes", [])
-            bytes_sent += sum(task_nbytes) + sum(report_nbytes)
+            task_nbytes = _nbytes_by_slave(getattr(self.backend, "last_task_nbytes", {}))
+            report_nbytes = _nbytes_by_slave(
+                getattr(self.backend, "last_report_nbytes", {})
+            )
+            bytes_sent += sum(task_nbytes.values()) + sum(report_nbytes.values())
 
             # --- fold results into the data structure -------------------
             improved_slaves = 0
-            for entry, report in zip(entries, reports):
+            failed_slaves = 0
+            for entry in entries:
+                k = entry.slave_id
+                report = accepted.get(k)
+                if report is None:
+                    if tasks[k] is not None:
+                        # Tasked but never (validly) reported: crashed slave
+                        # or lost message.  Enter/extend exponential backoff.
+                        consecutive_failures[k] += 1
+                        backoff = min(
+                            2 ** (consecutive_failures[k] - 1), cfg.max_backoff_rounds
+                        )
+                        resume_round[k] = round_idx + backoff
+                        failed_slaves += 1
+                    entry.stagnant_rounds += 1
+                    continue
+                consecutive_failures[k] = 0
                 changed = entry.absorb_elite(
                     [report.best, *report.elite], cfg.elite_capacity
                 )
@@ -212,12 +286,21 @@ class MasterProcess:
                     improved_slaves += 1
                 else:
                     entry.stagnant_rounds += 1
-            round_best = max(reports, key=lambda r: r.best.value).best
-            global_improved = round_best.value > global_best.value
-            if global_improved:
-                global_best = round_best
+            # Degraded-mode monotonicity: the incumbent only ever ratchets
+            # up, even when a round yields zero surviving reports.
+            global_improved = False
+            if reports:
+                round_best = max(reports, key=lambda r: r.best.value).best
+                global_improved = round_best.value > global_best.value
+                if global_improved:
+                    global_best = round_best
             total_evaluations += sum(r.evaluations for r in reports)
             value_history.append(global_best.value)
+            fault_summary["failed"] += failed_slaves
+            fault_summary["duplicates"] += duplicate_reports
+            fault_summary["stale"] += stale_reports
+            if failed_slaves or backoff_slaves:
+                fault_summary["degraded_rounds"] += 1
 
             # --- SGP -----------------------------------------------------
             sgp_actions: Counter[str] = Counter()
@@ -230,6 +313,7 @@ class MasterProcess:
                     cfg.sgp,
                     self.instance.n_items,
                     self.rng,
+                    allow_missing=True,
                 )
                 sgp_actions = Counter(d.action for d in decisions)
 
@@ -267,6 +351,10 @@ class MasterProcess:
                     improved_slaves=improved_slaves,
                     isp_rules=dict(isp_rules),
                     sgp_actions=dict(sgp_actions),
+                    failed_slaves=failed_slaves,
+                    backoff_slaves=backoff_slaves,
+                    duplicate_reports=duplicate_reports,
+                    stale_reports=stale_reports,
                 )
             )
 
@@ -291,6 +379,7 @@ class MasterProcess:
             trace=trace,
             bytes_sent=bytes_sent,
             value_history=value_history,
+            fault_summary={k: v for k, v in fault_summary.items() if v},
         )
 
     # ------------------------------------------------------------------ #
@@ -303,8 +392,13 @@ class MasterProcess:
         """Charge one round to the virtual clock; returns time aggregates.
 
         Sequence per the synchronous scheme: the master serially scatters
-        the P task messages, every slave computes, serially reports back,
-        and all slaves then wait at the barrier for the next round.
+        the task messages, every *surviving* slave computes, serially
+        reports back, and all slaves then wait at the barrier for the next
+        round.  Degraded rounds stay consistent by construction: a crashed
+        slave is charged only the traffic that actually crossed the links,
+        and the barrier still synchronizes every rank, so the clock vector
+        never runs backwards.  Straggler faults multiply the afflicted
+        slave's compute time by the backend-reported slowdown factor.
         """
         m = self.instance.n_constraints
         if self.farm is None or clock is None or trace is None:
@@ -313,27 +407,28 @@ class MasterProcess:
 
         master_rank = self.config.n_slaves
         t_round_start = clock.now
-        task_nbytes = getattr(self.backend, "last_task_nbytes", None) or [
-            0 for _ in reports
-        ]
-        report_nbytes = getattr(self.backend, "last_report_nbytes", None) or [
-            0 for _ in reports
-        ]
+        task_nbytes = _nbytes_by_slave(getattr(self.backend, "last_task_nbytes", {}))
+        report_nbytes = _nbytes_by_slave(
+            getattr(self.backend, "last_report_nbytes", {})
+        )
+        slowdowns = getattr(self.backend, "last_slowdowns", {}) or {}
 
-        # Scatter: the master's outgoing link serializes the P sends.
-        for k, nbytes in enumerate(task_nbytes):
-            dt = self.farm.transfer_seconds(nbytes)
+        # Scatter: the master's outgoing link serializes the sends.
+        for k in sorted(task_nbytes):
+            dt = self.farm.transfer_seconds(task_nbytes[k])
             t0 = clock.time_of(master_rank)
             clock.advance(master_rank, dt)
             trace.record(master_rank, EventKind.SEND, t0, t0 + dt, f"task->{k}")
             # Slave k cannot start before its task arrives.
             clock.wait_until(k, clock.time_of(master_rank))
 
-        # Compute: each slave burns its evaluation count (at its own speed
-        # when the farm is heterogeneous).
+        # Compute: each surviving slave burns its evaluation count (at its
+        # own speed when the farm is heterogeneous; slower under straggle).
         slave_seconds = []
-        for k, report in enumerate(reports):
+        for report in reports:
+            k = report.slave_id
             dt = self.farm.compute_seconds_on(k, report.evaluations, m)
+            dt *= float(slowdowns.get(k, 1.0))
             t0 = clock.time_of(k)
             clock.advance(k, dt)
             trace.record(k, EventKind.COMPUTE, t0, t0 + dt, "round-search")
@@ -341,9 +436,11 @@ class MasterProcess:
 
         # Gather: the master's incoming link serializes; it can only start
         # receiving from slave k once k has finished.
-        comm_seconds = sum(self.farm.transfer_seconds(b) for b in task_nbytes)
-        for k, nbytes in enumerate(report_nbytes):
-            dt = self.farm.transfer_seconds(nbytes)
+        comm_seconds = sum(
+            self.farm.transfer_seconds(b) for b in task_nbytes.values()
+        )
+        for k in sorted(report_nbytes):
+            dt = self.farm.transfer_seconds(report_nbytes[k])
             start = max(clock.time_of(master_rank), clock.time_of(k))
             clock.wait_until(master_rank, start)
             t0 = clock.time_of(master_rank)

@@ -23,6 +23,11 @@ class RoundStats:
     improved_slaves: int
     isp_rules: dict[str, int] = field(default_factory=dict)
     sgp_actions: dict[str, int] = field(default_factory=dict)
+    #: degraded-mode accounting (all zero on a healthy round)
+    failed_slaves: int = 0
+    backoff_slaves: int = 0
+    duplicate_reports: int = 0
+    stale_reports: int = 0
 
 
 @dataclass
@@ -43,10 +48,19 @@ class ParallelRunResult:
     trace: FarmTrace | None = None
     bytes_sent: int = 0
     value_history: list[float] = field(default_factory=list)
+    #: aggregate fault/degradation tally over the whole run, e.g.
+    #: ``{"failed": 3, "duplicates": 1, "stale": 2, "degraded_rounds": 4}``.
+    #: Empty for a run that never saw a fault.
+    fault_summary: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_rounds(self) -> int:
         return len(self.rounds)
+
+    @property
+    def degraded_rounds(self) -> int:
+        """Rounds that completed with at least one missing slave report."""
+        return sum(1 for s in self.rounds if s.failed_slaves or s.backoff_slaves)
 
     def best_value_at(self, virtual_second: float) -> float:
         """Best value known at a given virtual time (anytime curves)."""

@@ -88,21 +88,35 @@ def update_strategies(
     config: SGPConfig,
     n_items: int,
     rng: np.random.Generator,
+    *,
+    allow_missing: bool = False,
 ) -> list[SGPDecision]:
     """Score every slave and regenerate exhausted strategies; in place.
 
-    ``reports`` must be in slave order and aligned with ``entries``.
+    By default ``reports`` must cover every entry (one report per slave).
+    Degraded mode (``allow_missing=True``, used by the hardened master when
+    slaves crash or reports are lost) scores only the slaves that actually
+    reported; absent slaves keep their score and strategy untouched and are
+    recorded with action ``"absent"``.
     """
-    if len(entries) != len(reports):
+    by_id = {report.slave_id: report for report in reports}
+    known = {entry.slave_id for entry in entries}
+    orphans = [sid for sid in by_id if sid not in known]
+    if orphans:
+        raise ValueError(f"misaligned report: no entry for slave id(s) {orphans}")
+    if not allow_missing and len(by_id) != len(entries):
         raise ValueError(
             f"entries/reports length mismatch: {len(entries)} vs {len(reports)}"
         )
     decisions: list[SGPDecision] = []
-    for entry, report in zip(entries, reports):
-        if entry.slave_id != report.slave_id:
-            raise ValueError(
-                f"misaligned report: entry {entry.slave_id} vs report {report.slave_id}"
+    for entry in entries:
+        report = by_id.get(entry.slave_id)
+        if report is None:
+            # Degraded round: the slave produced nothing to score.
+            decisions.append(
+                SGPDecision(entry.slave_id, "absent", entry.score, entry.strategy, 0.0)
             )
+            continue
         entry.score += 1 if report.improved else -1
         dispersion = mean_pairwise_distance(entry.best_solutions)
         if entry.score > 0:

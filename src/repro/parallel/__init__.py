@@ -1,7 +1,15 @@
 """Message-passing substrate: PVM/MPI-style comm + execution backends."""
 
 from .backends import Backend, MultiprocessingBackend, SerialBackend
-from .comm import Comm, InProcComm, MessageRouter, PipeComm
+from .comm import (
+    Comm,
+    CommClosedError,
+    CommTimeout,
+    InProcComm,
+    MessageRouter,
+    PipeComm,
+)
+from .faults import ChaosComm, FaultEvent, FaultKind, FaultPlan
 from .message import (
     PROBLEM_TAG,
     RESULT_TAG,
@@ -19,6 +27,12 @@ __all__ = [
     "InProcComm",
     "PipeComm",
     "MessageRouter",
+    "CommTimeout",
+    "CommClosedError",
+    "ChaosComm",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "SlaveTask",
     "SlaveReport",
     "payload_nbytes",

@@ -1,7 +1,8 @@
 """Execution backends for one master–slave search round.
 
-A *backend* places ``P`` slave tasks, executes them, and returns the ``P``
-reports in slave order.  Three implementations:
+A *backend* places up to ``P`` slave tasks, executes them, and returns the
+reports of the slaves that survived the round, sorted by slave id.  Three
+implementations:
 
 :class:`SerialBackend`
     Runs slaves inline, one after the other, but still routes every task
@@ -18,18 +19,31 @@ reports in slave order.  Three implementations:
     threads — see DESIGN.md).
 
 Both produce bit-identical reports for identical tasks (same seeds), which
-``tests/test_backend_equivalence.py`` asserts — the property that makes the
-simulated results transferable to real parallel hardware.
+``tests/test_backends.py`` asserts — the property that makes the simulated
+results transferable to real parallel hardware.
+
+Fault tolerance (DESIGN.md §"Fault model"): both backends accept a
+:class:`~repro.parallel.faults.FaultPlan` that deterministically injects
+slave crashes, dropped/duplicated/delayed messages and stragglers; a round's
+return value then simply omits the reports the faults destroyed.  Task
+entries may be ``None`` — the master uses that to keep a crashed slave in
+exponential backoff.  The multiprocessing gather path is bounded by
+``round_timeout_s`` and dead workers are respawned instead of deadlocking
+the barrier.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
+from collections import Counter
 from typing import Protocol, Sequence
 
 from ..core.instance import MKPInstance
 from ..core.tabu_search import TabuSearchConfig
-from .comm import InProcComm, MessageRouter, PipeComm
+from .comm import CommTimeout, InProcComm, MessageRouter, PipeComm
+from .faults import ChaosComm, FaultPlan
 from .message import RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
 from .slave import execute_task
 
@@ -45,8 +59,12 @@ class Backend(Protocol):
         """Distribute the problem data (Fig. 2: 'Read and send to slaves')."""
         ...  # pragma: no cover
 
-    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
-        """Execute one synchronous search round."""
+    def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
+        """Execute one search round; ``None`` entries sit the round out.
+
+        Returns the reports that actually arrived (possibly fewer than the
+        number of tasks placed, never more than one accepted per send).
+        """
         ...  # pragma: no cover
 
     def shutdown(self) -> None:
@@ -54,52 +72,98 @@ class Backend(Protocol):
         ...  # pragma: no cover
 
 
+def _validate_round(tasks: Sequence[SlaveTask | None], n_slaves: int) -> None:
+    if len(tasks) != n_slaves:
+        raise ValueError(f"expected {n_slaves} tasks; got {len(tasks)}")
+
+
 class SerialBackend:
     """In-process backend; the substrate of the simulated farm.
 
     Rank convention: slaves are ranks ``0..P-1``, the master is rank ``P``.
+    With a non-empty ``fault_plan`` the report path of every slave is
+    wrapped in a :class:`~repro.parallel.faults.ChaosComm`; the no-fault
+    construction is byte-for-byte the original pipeline.
     """
 
-    def __init__(self, n_slaves: int) -> None:
+    def __init__(self, n_slaves: int, *, fault_plan: FaultPlan | None = None) -> None:
         if n_slaves < 1:
             raise ValueError("n_slaves must be >= 1")
         self.n_slaves = int(n_slaves)
+        self.fault_plan = fault_plan or FaultPlan.none()
         self.router = MessageRouter()
         self.master_comm = InProcComm(self.router, rank=n_slaves)
         self._slave_comms = [InProcComm(self.router, rank=k) for k in range(n_slaves)]
+        if self.fault_plan.is_empty:
+            self._report_comms: list[InProcComm | ChaosComm] = list(self._slave_comms)
+        else:
+            self._report_comms = [
+                ChaosComm(comm, self.fault_plan, direction="report")
+                for comm in self._slave_comms
+            ]
         self._instance: MKPInstance | None = None
         self._config: TabuSearchConfig | None = None
-        #: per-round message sizes, for the farm's scatter/gather model
-        self.last_task_nbytes: list[int] = []
-        self.last_report_nbytes: list[int] = []
+        #: per-round message sizes by slave id, for the farm's scatter/gather model
+        self.last_task_nbytes: dict[int, int] = {}
+        self.last_report_nbytes: dict[int, int] = {}
+        #: per-round straggler slowdown factors by slave id (virtual time)
+        self.last_slowdowns: dict[int, float] = {}
+        #: cumulative injected-fault tally (diagnostics for the chaos suite)
+        self.fault_counters: Counter[str] = Counter()
 
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
         self._instance = instance
         self._config = config
 
-    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
+    def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
         if self._instance is None or self._config is None:
             raise RuntimeError("backend not started: call start() first")
-        if len(tasks) != self.n_slaves:
-            raise ValueError(f"expected {self.n_slaves} tasks; got {len(tasks)}")
-        self.last_task_nbytes = []
-        self.last_report_nbytes = []
+        _validate_round(tasks, self.n_slaves)
+        plan = self.fault_plan
+        self.last_task_nbytes = {}
+        self.last_report_nbytes = {}
+        self.last_slowdowns = {}
+        # Reports the chaos layer delayed in an earlier round arrive now,
+        # stale — the hardened master must discard them by seq id.
+        for comm in self._report_comms:
+            if isinstance(comm, ChaosComm):
+                comm.flush_delayed()
         # Scatter phase: master -> slaves.
         for k, task in enumerate(tasks):
+            if task is None:
+                continue
+            if plan.drops_task(task.round_index, k):
+                self.fault_counters["drop_task"] += 1
+                continue
             self.master_comm.send(task, dest=k, tag=TASK_TAG)
-            self.last_task_nbytes.append(self.master_comm.last_payload_nbytes)
+            self.last_task_nbytes[k] = self.master_comm.last_payload_nbytes
         # Compute + report phase (inline execution).
         for k in range(self.n_slaves):
-            task = self._slave_comms[k].recv(source=self.n_slaves, tag=TASK_TAG)
-            report = execute_task(self._instance, self._config, task, slave_id=k)
-            self._slave_comms[k].send(report, dest=self.n_slaves, tag=RESULT_TAG)
-        # Gather phase: master <- slaves.
+            while self._slave_comms[k].probe(TASK_TAG):
+                task = self._slave_comms[k].recv(source=self.n_slaves, tag=TASK_TAG)
+                if plan.crashes(task.round_index, k):
+                    # The slave dies mid-round: the task is consumed, no
+                    # report is produced.  (A fresh "process" serves the
+                    # next round; in-process slaves are stateless anyway.)
+                    self.fault_counters["crash"] += 1
+                    continue
+                report = execute_task(self._instance, self._config, task, slave_id=k)
+                factor = plan.straggle_factor(task.round_index, k)
+                if factor != 1.0:
+                    self.fault_counters["straggle"] += 1
+                    self.last_slowdowns[k] = factor
+                self._report_comms[k].send(report, dest=self.n_slaves, tag=RESULT_TAG)
+        # Gather phase: drain every report that actually arrived (including
+        # duplicates and releases of previously delayed messages).
         reports: list[SlaveReport] = []
-        for k in range(self.n_slaves):
-            report = self.master_comm.recv(source=k, tag=RESULT_TAG)
-            self.last_report_nbytes.append(self.master_comm.last_payload_nbytes)
+        while self.master_comm.probe(RESULT_TAG):
+            report = self.master_comm.recv(source=-1, tag=RESULT_TAG)
+            self.last_report_nbytes[report.slave_id] = (
+                self.last_report_nbytes.get(report.slave_id, 0)
+                + self.master_comm.last_payload_nbytes
+            )
             reports.append(report)
-        reports.sort(key=lambda r: r.slave_id)
+        reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
     def shutdown(self) -> None:
@@ -112,13 +176,26 @@ class SerialBackend:
         self.shutdown()
 
 
+#: Worker straggler injection sleeps ``_STRAGGLE_SLEEP_S * (factor - 1)``
+#: wall seconds, capped — long enough to trip a short gather timeout in the
+#: chaos tests, short enough to keep the suite fast.
+_STRAGGLE_SLEEP_S = 0.05
+_MAX_STRAGGLE_SLEEP_S = 1.0
+
+
 def _worker_main(
     conn: "mp.connection.Connection",
     instance: MKPInstance,
     config: TabuSearchConfig,
     slave_id: int,
+    fault_plan: FaultPlan,
 ) -> None:
-    """Worker process entry point: serve tasks until the stop sentinel."""
+    """Worker process entry point: serve tasks until the stop sentinel.
+
+    The fault plan travels to the worker so crash/drop faults happen on the
+    *worker* side of the pipe — the master only ever observes their
+    symptoms (silence), exactly as with a real failing host.
+    """
     comm = PipeComm(conn)
     try:
         while True:
@@ -127,10 +204,23 @@ def _worker_main(
                 return
             if tag != TASK_TAG:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"worker {slave_id}: unexpected tag {tag}")
-            report = execute_task(instance, config, obj, slave_id=slave_id)
+            task: SlaveTask = obj
+            if fault_plan.crashes(task.round_index, slave_id):
+                # Hard crash: no cleanup, no reply, nonzero exit code.
+                os._exit(17)
+            report = execute_task(instance, config, task, slave_id=slave_id)
+            factor = fault_plan.straggle_factor(task.round_index, slave_id)
+            if factor > 1.0:
+                time.sleep(min(_STRAGGLE_SLEEP_S * (factor - 1.0), _MAX_STRAGGLE_SLEEP_S))
+            if fault_plan.drops_report(task.round_index, slave_id):
+                continue  # the message is lost in flight
             comm.send(report, tag=RESULT_TAG)
+            if fault_plan.duplicates_report(task.round_index, slave_id):
+                comm.send(report, tag=RESULT_TAG)
+    except (EOFError, BrokenPipeError):  # pragma: no cover - master died
+        pass
     finally:
-        conn.close()
+        comm.close()
 
 
 class MultiprocessingBackend:
@@ -140,71 +230,164 @@ class MultiprocessingBackend:
     problem data crosses the process boundary a single time — the same
     optimization the paper's master applies ("Read and send to slaves
     problem data" once, outside the round loop).
+
+    Hardened: the gather is bounded by ``round_timeout_s`` per slave; a
+    worker that times out, dies, or breaks its pipe is terminated and
+    respawned (``respawns`` counts them), and the round returns without its
+    report instead of deadlocking the Fig. 2 barrier.
     """
 
-    def __init__(self, n_slaves: int, *, mp_context: str = "fork") -> None:
+    def __init__(
+        self,
+        n_slaves: int,
+        *,
+        mp_context: str = "fork",
+        fault_plan: FaultPlan | None = None,
+        round_timeout_s: float | None = 60.0,
+    ) -> None:
         if n_slaves < 1:
             raise ValueError("n_slaves must be >= 1")
+        if round_timeout_s is not None and round_timeout_s <= 0:
+            raise ValueError("round_timeout_s must be positive (or None)")
         self.n_slaves = int(n_slaves)
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.round_timeout_s = round_timeout_s
         self._ctx = mp.get_context(mp_context)
-        self._procs: list[mp.Process] = []
-        self._comms: list[PipeComm] = []
-        self.last_task_nbytes: list[int] = []
-        self.last_report_nbytes: list[int] = []
+        self._procs: list[mp.Process | None] = []
+        self._comms: list[PipeComm | None] = []
+        self._instance: MKPInstance | None = None
+        self._config: TabuSearchConfig | None = None
+        self.last_task_nbytes: dict[int, int] = {}
+        self.last_report_nbytes: dict[int, int] = {}
+        #: respawn count per slave id (the chaos suite asserts recovery)
+        self.respawns: Counter[int] = Counter()
+        self.fault_counters: Counter[str] = Counter()
 
+    # ------------------------------------------------------------------ #
+    def _spawn(self, k: int) -> None:
+        assert self._instance is not None and self._config is not None
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._instance, self._config, k, self.fault_plan),
+            daemon=True,
+            name=f"repro-slave-{k}",
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[k] = proc
+        self._comms[k] = PipeComm(parent_conn)
+
+    def _bury(self, k: int) -> None:
+        """Terminate worker ``k`` and close its pipe (idempotent)."""
+        proc = self._procs[k]
+        if proc is not None:
+            if proc.is_alive():  # pragma: no branch
+                proc.terminate()
+            proc.join(timeout=5)
+            self._procs[k] = None
+        comm = self._comms[k]
+        if comm is not None:
+            comm.close()
+            self._comms[k] = None
+
+    def _ensure_alive(self, k: int) -> PipeComm:
+        """Respawn worker ``k`` if it is dead; return its live endpoint."""
+        proc = self._procs[k]
+        if proc is None or not proc.is_alive():
+            self._bury(k)
+            self._spawn(k)
+            self.respawns[k] += 1
+        comm = self._comms[k]
+        assert comm is not None
+        return comm
+
+    # ------------------------------------------------------------------ #
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
         if self._procs:
             raise RuntimeError("backend already started")
+        self._instance = instance
+        self._config = config
+        self._procs = [None] * self.n_slaves
+        self._comms = [None] * self.n_slaves
         for k in range(self.n_slaves):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn, instance, config, k),
-                daemon=True,
-                name=f"repro-slave-{k}",
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._comms.append(PipeComm(parent_conn))
+            self._spawn(k)
 
-    def run_round(self, tasks: Sequence[SlaveTask]) -> list[SlaveReport]:
+    def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
         if not self._procs:
             raise RuntimeError("backend not started: call start() first")
-        if len(tasks) != self.n_slaves:
-            raise ValueError(f"expected {self.n_slaves} tasks; got {len(tasks)}")
-        self.last_task_nbytes = []
-        self.last_report_nbytes = []
+        _validate_round(tasks, self.n_slaves)
+        self.last_task_nbytes = {}
+        self.last_report_nbytes = {}
         # Scatter: non-blocking from the master's perspective (pipes buffer).
+        sent: list[int] = []
         for k, task in enumerate(tasks):
-            before = self._comms[k].bytes_sent
-            self._comms[k].send(task, tag=TASK_TAG)
-            self.last_task_nbytes.append(self._comms[k].bytes_sent - before)
-        # Gather: blocks until every slave reports (the Fig. 2 barrier).
+            if task is None:
+                continue
+            try:
+                comm = self._ensure_alive(k)
+                before = comm.bytes_sent
+                comm.send(task, tag=TASK_TAG)
+                self.last_task_nbytes[k] = comm.bytes_sent - before
+                sent.append(k)
+            except (BrokenPipeError, OSError):
+                # The worker died between liveness check and send; the
+                # round proceeds without it and the next round respawns.
+                self.fault_counters["send_failed"] += 1
+                self._bury(k)
+        # Gather: bounded wait per slave instead of the unbounded Fig. 2
+        # barrier; a silent slave is buried and the round goes on.
         reports: list[SlaveReport] = []
-        for k in range(self.n_slaves):
-            before = self._comms[k].bytes_received
-            report = self._comms[k].recv(tag=RESULT_TAG)
-            self.last_report_nbytes.append(self._comms[k].bytes_received - before)
-            reports.append(report)
-        reports.sort(key=lambda r: r.slave_id)
+        for k in sent:
+            comm = self._comms[k]
+            if comm is None:  # pragma: no cover - buried during scatter
+                continue
+            try:
+                before = comm.bytes_received
+                report = comm.recv(tag=RESULT_TAG, timeout=self.round_timeout_s)
+                reports.append(report)
+                # Drain duplicates already in flight so they surface this
+                # round (idempotency is the master's job, delivery is ours).
+                # When the plan scheduled a duplicate for this slave the
+                # extra copy may still be crossing the pipe, so grant it a
+                # bounded grace window instead of a racy zero-wait poll.
+                task = tasks[k]
+                drain_wait = (
+                    1.0
+                    if task is not None
+                    and self.fault_plan.duplicates_report(task.round_index, k)
+                    else 0.0
+                )
+                while comm.poll(drain_wait):
+                    reports.append(comm.recv(tag=RESULT_TAG))
+                    drain_wait = 0.0
+                self.last_report_nbytes[k] = comm.bytes_received - before
+            except (CommTimeout, EOFError, OSError):
+                self.fault_counters["gather_lost"] += 1
+                self._bury(k)
+        reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
     def shutdown(self) -> None:
         for comm in self._comms:
+            if comm is None or comm.closed:
+                continue
             try:
                 comm.send(None, tag=STOP_TAG)
             except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5)
         for comm in self._comms:
-            comm.close()
-        self._procs.clear()
-        self._comms.clear()
+            if comm is not None:
+                comm.close()
+        self._procs = []
+        self._comms = []
 
     def __enter__(self) -> "MultiprocessingBackend":
         return self

@@ -24,7 +24,22 @@ from typing import Any, Protocol
 
 from .message import payload_nbytes
 
-__all__ = ["Comm", "InProcComm", "PipeComm", "MessageRouter"]
+__all__ = [
+    "Comm",
+    "InProcComm",
+    "PipeComm",
+    "MessageRouter",
+    "CommTimeout",
+    "CommClosedError",
+]
+
+
+class CommTimeout(TimeoutError):
+    """A bounded ``recv`` expired before any message arrived."""
+
+
+class CommClosedError(RuntimeError):
+    """Send/recv attempted on an endpoint that was already closed."""
 
 
 class Comm(Protocol):
@@ -115,18 +130,45 @@ class PipeComm:
     ``source`` are fixed by construction and the arguments are accepted
     only for API parity.  Messages are framed as ``(tag, obj)``; a recv
     with a mismatched tag is a protocol error, loudly reported.
+
+    Hardened surface (chaos-test requirements): ``recv`` takes an optional
+    ``timeout`` in seconds and raises :class:`CommTimeout` instead of
+    blocking forever on a dead peer; ``close`` is idempotent; operations on
+    a closed endpoint raise :class:`CommClosedError` rather than hitting
+    the raw OS handle.
     """
 
     def __init__(self, connection: Any) -> None:
         self._conn = connection
+        self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CommClosedError("operation on closed PipeComm endpoint")
+
     def send(self, obj: Any, dest: int = 0, tag: int = 0) -> None:
+        self._check_open()
         self.bytes_sent += payload_nbytes(obj)
         self._conn.send((tag, obj))
 
-    def recv(self, source: int = 0, tag: int = 0) -> Any:
+    def recv(self, source: int = 0, tag: int = 0, timeout: float | None = None) -> Any:
+        """Receive one tagged message; bounded wait when ``timeout`` is set.
+
+        ``timeout=None`` preserves the original blocking semantics (the
+        synchronous barrier); any finite value converts a hung or crashed
+        peer into a :class:`CommTimeout` the caller can act on.
+        """
+        self._check_open()
+        if timeout is not None and not self._conn.poll(timeout):
+            raise CommTimeout(
+                f"no message within {timeout:.3f}s (tag {tag}); peer crashed or hung?"
+            )
         got_tag, obj = self._conn.recv()
         if got_tag != tag:
             raise RuntimeError(
@@ -135,5 +177,18 @@ class PipeComm:
         self.bytes_received += payload_nbytes(obj)
         return obj
 
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Non-blocking (or bounded) check for a waiting message."""
+        if self._closed:
+            return False
+        return bool(self._conn.poll(timeout))
+
     def close(self) -> None:
-        self._conn.close()
+        """Release the underlying connection; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already torn down by the OS
+            pass

@@ -32,7 +32,10 @@ class SlaveTask:
     """What the master hands a slave for one search round.
 
     ``seed`` replaces shipping generator state across process boundaries
-    (see :mod:`repro.rng`); ``round_index`` is carried for tracing only.
+    (see :mod:`repro.rng`).  ``round_index`` and ``seq_id`` make report
+    handling idempotent: the slave echoes both back on its
+    :class:`SlaveReport`, letting the master discard duplicated or stale
+    (delayed) reports instead of double-counting them.
     """
 
     x_init: Solution
@@ -40,6 +43,8 @@ class SlaveTask:
     budget: Budget
     seed: int
     round_index: int = 0
+    #: unique per (round, slave) — the idempotency key echoed by the report
+    seq_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,8 @@ class SlaveReport:
     Carries everything the master's data structure needs (§4.2): the ``B``
     best solutions, the final best, the initial cost (for the ±1 scoring),
     and the evaluation count the farm model converts into virtual time.
+    ``round_index``/``seq_id`` echo the originating task so the hardened
+    master can deduplicate and drop stale deliveries.
     """
 
     slave_id: int
@@ -57,6 +64,8 @@ class SlaveReport:
     initial_value: float = 0.0
     evaluations: int = 0
     moves: int = 0
+    round_index: int = 0
+    seq_id: int = 0
 
     @property
     def improved(self) -> bool:

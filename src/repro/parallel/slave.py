@@ -37,4 +37,6 @@ def execute_task(
         initial_value=result.initial_value,
         evaluations=result.evaluations,
         moves=result.moves,
+        round_index=task.round_index,
+        seq_id=task.seq_id,
     )

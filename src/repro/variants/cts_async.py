@@ -42,6 +42,7 @@ from ..farm.machine import ALPHA_FARM, FarmModel
 from ..farm.trace import EventKind, FarmTrace
 from ..master.result import ParallelRunResult, RoundStats
 from ..master.sgp import SGPConfig, classify_dispersion
+from ..parallel.faults import FaultPlan
 from ..parallel.message import payload_nbytes
 from ..rng import derive_rng, random_seed_from
 
@@ -109,11 +110,19 @@ def solve_cts_async(
     virtual_seconds: float | None = None,
     farm: FarmModel = ALPHA_FARM,
     config: AsyncConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ParallelRunResult:
     """Run the decentralized asynchronous cooperative TS.
 
     ``max_evaluations`` / ``virtual_seconds`` budget each peer, exactly as
     for the synchronous variants (one peer per simulated processor).
+
+    ``fault_plan`` (addressed by ``(segment_index, peer_id)``) injects peer
+    crashes (the peer is never scheduled again), dropped publications (the
+    segment's best never reaches the blackboard), and straggler slowdowns
+    (the segment costs ``factor``× the virtual compute time).  The
+    surviving peers keep cooperating and the global best stays monotone —
+    the asynchronous scheme's natural degraded mode.
     """
     if config is None:
         config = AsyncConfig(n_threads=n_threads)
@@ -129,6 +138,7 @@ def solve_cts_async(
         raise ValueError("per-peer budget must be >= 1 evaluation")
 
     t_wall0 = time.perf_counter()
+    plan = fault_plan or FaultPlan.none()
     ts_config = config.ts_config or TabuSearchConfig(nb_div=1_000_000)
     trace = FarmTrace()
     rng = derive_rng(rng_seed, 0)
@@ -164,11 +174,20 @@ def solve_cts_async(
                 best = posting.solution
         return best
 
+    dead_peers: set[int] = set()
+    dropped_publications = 0
+
     while heap:
         _, pid = heapq.heappop(heap)
         peer = peers[pid]
         remaining = max_evaluations - peer.evaluations
         if remaining <= 0:
+            continue
+        if plan.crashes(peer.segments, pid):
+            # The peer's host dies at this communication point; it is never
+            # rescheduled.  No barrier exists, so nobody waits for it — the
+            # survivors simply stop seeing its publications.
+            dead_peers.add(pid)
             continue
 
         # --- run one search segment ------------------------------------
@@ -179,6 +198,7 @@ def solve_cts_async(
         thread = TabuSearch(instance, peer.strategy, config=ts_config, rng=seed)
         result = thread.run(x_init=peer.current, budget=seg_budget)
         dt = farm.compute_seconds_on(pid, result.evaluations, instance.n_constraints)
+        dt *= plan.straggle_factor(peer.segments, pid)
         t0 = peer.clock
         peer.clock += dt
         trace.record(pid, EventKind.COMPUTE, t0, peer.clock, f"segment-{peer.segments}")
@@ -204,12 +224,20 @@ def solve_cts_async(
         del peer.elite[8:]
 
         # --- publish to the blackboard (asynchronous send) --------------
+        # A dropped publication is lost in flight: the peer still pays the
+        # send time, but no other peer (nor the blackboard) ever sees it.
+        # The peer's own incumbent and the returned global best still count
+        # it — local knowledge survives message loss.
+        published = not plan.drops_report(peer.segments - 1, pid)
         nbytes = payload_nbytes(seg_best)
         send_dt = farm.transfer_seconds(nbytes)
         trace.record(pid, EventKind.SEND, peer.clock, peer.clock + send_dt, "publish")
         peer.clock += send_dt
-        bytes_sent += nbytes
-        blackboard.append(_Posting(peer.clock, pid, seg_best))
+        if published:
+            bytes_sent += nbytes
+            blackboard.append(_Posting(peer.clock, pid, seg_best))
+        else:
+            dropped_publications += 1
         if seg_best.value > global_best.value:
             global_best = seg_best
         value_history.append(global_best.value)
@@ -263,6 +291,11 @@ def solve_cts_async(
         if peer.evaluations < max_evaluations:
             heapq.heappush(heap, (peer.clock, pid))
 
+    fault_summary: dict[str, int] = {}
+    if dead_peers:
+        fault_summary["crashed_peers"] = len(dead_peers)
+    if dropped_publications:
+        fault_summary["dropped_publications"] = dropped_publications
     return ParallelRunResult(
         variant="CTS-async",
         best=global_best,
@@ -274,4 +307,5 @@ def solve_cts_async(
         trace=trace,
         bytes_sent=bytes_sent,
         value_history=value_history,
+        fault_summary=fault_summary,
     )

@@ -45,10 +45,10 @@ class TestSerialBackend:
         backend = SerialBackend(2)
         backend.start(small_instance, TabuSearchConfig(nb_div=100))
         backend.run_round(make_tasks(small_instance, 2))
-        assert len(backend.last_task_nbytes) == 2
-        assert len(backend.last_report_nbytes) == 2
-        assert all(b > 0 for b in backend.last_task_nbytes)
-        assert all(b > 0 for b in backend.last_report_nbytes)
+        assert sorted(backend.last_task_nbytes) == [0, 1]
+        assert sorted(backend.last_report_nbytes) == [0, 1]
+        assert all(b > 0 for b in backend.last_task_nbytes.values())
+        assert all(b > 0 for b in backend.last_report_nbytes.values())
 
     def test_reports_carry_results(self, small_instance):
         backend = SerialBackend(2)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -9,8 +12,10 @@ from hypothesis import strategies as st
 
 from repro.core import Budget, Solution, Strategy
 from repro.parallel import (
+    CommClosedError,
     InProcComm,
     MessageRouter,
+    PipeComm,
     SlaveReport,
     SlaveTask,
     payload_nbytes,
@@ -117,3 +122,147 @@ class TestMessages:
         small = payload_nbytes(np.zeros(10, dtype=np.int8))
         large = payload_nbytes(np.zeros(10_000, dtype=np.int8))
         assert 0 < small < large
+
+
+class TestRouterEdgeCases:
+    """Mailbox-fabric corner cases the chaos suite leans on."""
+
+    def test_unknown_destination_parks_message(self):
+        # The router is rendezvous-free: a send to a rank nobody has claimed
+        # yet is parked, conserved, and drainable by a late joiner (exactly
+        # what a respawned slave does).
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        a.send("orphan", dest=7, tag=3)
+        assert router.pending(7, 3) == 1
+        assert router.total_messages == 1
+        late = InProcComm(router, rank=7)
+        assert late.recv(source=0, tag=3) == "orphan"
+        assert router.pending(7, 3) == 0
+
+    def test_recv_from_never_used_mailbox_raises(self):
+        router = MessageRouter()
+        b = InProcComm(router, rank=1)
+        with pytest.raises(RuntimeError, match="empty mailbox"):
+            b.recv(source=3, tag=9)
+
+    def test_interleaved_send_recv_keeps_per_tag_fifo(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        a.send("t1-first", dest=1, tag=1)
+        a.send("t2-first", dest=1, tag=2)
+        assert b.recv(source=0, tag=1) == "t1-first"
+        a.send("t1-second", dest=1, tag=1)
+        assert b.recv(source=0, tag=2) == "t2-first"
+        a.send("t2-second", dest=1, tag=2)
+        assert b.recv(source=0, tag=1) == "t1-second"
+        assert b.recv(source=0, tag=2) == "t2-second"
+        assert not b.probe(tag=1) and not b.probe(tag=2)
+
+    def test_probe_is_tag_specific(self):
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        a.send(1, dest=1, tag=1)
+        assert b.probe(tag=1)
+        assert not b.probe(tag=2)
+
+
+class TestPipeCommLifecycle:
+    def test_double_close_is_noop(self):
+        here, there = mp.Pipe()
+        comm = PipeComm(here)
+        comm.close()
+        comm.close()  # second close must not raise
+        assert comm.closed
+        there.close()
+
+    def test_closed_endpoint_rejects_operations(self):
+        here, there = mp.Pipe()
+        comm = PipeComm(here)
+        comm.close()
+        with pytest.raises(CommClosedError):
+            comm.send("x")
+        with pytest.raises(CommClosedError):
+            comm.recv()
+        assert comm.poll() is False
+        there.close()
+
+
+@st.composite
+def solutions(draw):
+    bits = draw(st.lists(st.integers(0, 1), min_size=1, max_size=12))
+    value = draw(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+    )
+    return Solution(np.array(bits, dtype=np.int8), value)
+
+
+@st.composite
+def strategies_(draw):
+    return Strategy(
+        lt_length=draw(st.integers(1, 100)),
+        nb_drop=draw(st.integers(1, 10)),
+        nb_local=draw(st.integers(1, 100)),
+    )
+
+
+class TestMessageIdRoundTrip:
+    """Serialization property tests over the idempotency ids (satellite 1)."""
+
+    @given(
+        sol=solutions(),
+        strategy=strategies_(),
+        seed=st.integers(0, 2**31 - 1),
+        round_index=st.integers(0, 500),
+        seq_id=st.integers(0, 100_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_slave_task_round_trips(self, sol, strategy, seed, round_index, seq_id):
+        task = SlaveTask(
+            x_init=sol,
+            strategy=strategy,
+            budget=Budget(max_evaluations=100),
+            seed=seed,
+            round_index=round_index,
+            seq_id=seq_id,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert (clone.round_index, clone.seq_id) == (round_index, seq_id)
+        # Same object shape survives the in-process transport.
+        router = MessageRouter()
+        a = InProcComm(router, rank=0)
+        b = InProcComm(router, rank=1)
+        a.send(task, dest=1, tag=1)
+        assert b.recv(source=0, tag=1) == task
+
+    @given(
+        best=solutions(),
+        elite=st.lists(solutions(), max_size=4),
+        slave_id=st.integers(0, 63),
+        initial_value=st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        evaluations=st.integers(0, 10**7),
+        round_index=st.integers(0, 500),
+        seq_id=st.integers(0, 100_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_slave_report_round_trips(
+        self, best, elite, slave_id, initial_value, evaluations, round_index, seq_id
+    ):
+        report = SlaveReport(
+            slave_id=slave_id,
+            best=best,
+            elite=elite,
+            initial_value=initial_value,
+            evaluations=evaluations,
+            round_index=round_index,
+            seq_id=seq_id,
+        )
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+        assert (clone.round_index, clone.seq_id) == (round_index, seq_id)
+        assert clone.improved == (best.value > initial_value)
