@@ -22,7 +22,14 @@ from .intensification import (
 from .memory import EliteArray, History
 from .moves import MoveEngine, MoveRecord
 from .polish import PolishStats, exchange_11, exchange_12, exchange_21, polish
-from .solution import SearchState, Solution, hamming_distance, mean_pairwise_distance
+from .solution import (
+    SearchState,
+    Solution,
+    hamming_distance,
+    mean_pairwise_distance,
+    set_wire_codec,
+    wire_codec_enabled,
+)
 from .strategy import Strategy, StrategyBounds
 from .tabu_list import TabuList
 from .tabu_search import (
@@ -42,6 +49,8 @@ __all__ = [
     "SearchState",
     "hamming_distance",
     "mean_pairwise_distance",
+    "set_wire_codec",
+    "wire_codec_enabled",
     "greedy_solution",
     "random_solution",
     "repair",

@@ -18,9 +18,12 @@ float views — are computed once and cached on the instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bitset is leaf-only)
+    from .bitset import HotTables
 
 __all__ = ["MKPInstance"]
 
@@ -58,6 +61,7 @@ class MKPInstance:
     # the dataclass is frozen.
     _density: np.ndarray | None = field(default=None, repr=False, compare=False)
     _tightness: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _hot: "HotTables | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         weights = np.ascontiguousarray(self.weights, dtype=np.float64)
@@ -143,6 +147,24 @@ class MKPInstance:
             t.setflags(write=False)
             object.__setattr__(self, "_tightness", t)
         return self._tightness
+
+    @property
+    def hot(self) -> "HotTables":
+        """Shared hot-path tables (weight transpose, drop-rule ratios, and —
+        for integer-valued data — the prefix-bitmask fitting tables).
+
+        Built lazily once per instance and shared by every
+        :class:`~repro.core.kernels.EvalKernel`, so short-lived kernels (one
+        per slave task) stop paying the per-kernel transpose/divide/table
+        construction.  See :mod:`repro.core.bitset`.
+        """
+        if self._hot is None:
+            from .bitset import HotTables
+
+            object.__setattr__(
+                self, "_hot", HotTables.build(self.weights, self.capacities, self.profits)
+            )
+        return self._hot
 
     # ------------------------------------------------------------------ #
     # Feasibility / objective helpers (non-incremental reference versions)

@@ -65,26 +65,48 @@ def swap_intensification(
     """
     inst = state.instance
     stats = stats or IntensificationStats()
+    kernel = state.kernel
+    use_words = kernel.use_bitset
+    profit_order = inst.hot.profit_order if use_words else None
     improved = True
     while improved:
         improved = False
         packed = state.packed_items()
-        free = state.free_items()
-        if packed.size == 0 or free.size == 0:
+        if packed.size == 0 or state.free_items().size == 0:
             break
         # For each packed i (cheapest profits first), find the best free j
-        # with c_j > c_i that fits once i is removed.
+        # with c_j > c_i that fits once i is removed.  The word path and the
+        # elementwise path visit the identical candidate sets and charge the
+        # identical evaluation counts (pinned by ``tests/test_bitset.py``).
         for i in packed[np.argsort(inst.profits[packed], kind="stable")]:
-            slack_without_i = state.slack + inst.weights[:, i]
-            free = state.free_items()
-            richer = free[inst.profits[free] > inst.profits[i]]
-            if richer.size == 0:
-                continue
-            stats.evaluations += int(richer.size)
-            fits = np.all(
-                inst.weights[:, richer] <= slack_without_i[:, None] + 1e-9, axis=0
-            )
-            candidates = richer[fits]
+            if use_words:
+                # {j free : c_j > c_i} as one suffix-bitset row AND.
+                cnt = profit_order.sorted_profits.searchsorted(
+                    inst.profits[i], side="right"
+                )
+                rich_words = np.bitwise_and(
+                    kernel.free_words, profit_order.suffix[cnt]
+                )
+                n_richer = int.from_bytes(
+                    rich_words.tobytes(), "little"
+                ).bit_count()
+                if n_richer == 0:
+                    continue
+                stats.evaluations += n_richer
+                cand_words = kernel.fitting_words_without(int(i), rich_words)
+                candidates = kernel.decode_words_u8(cand_words.view(np.uint8))
+            else:
+                slack_without_i = state.slack + inst.weights[:, i]
+                free = state.free_items()
+                richer = free[inst.profits[free] > inst.profits[i]]
+                if richer.size == 0:
+                    continue
+                stats.evaluations += int(richer.size)
+                fits = np.all(
+                    inst.weights[:, richer] <= slack_without_i[:, None] + 1e-9,
+                    axis=0,
+                )
+                candidates = richer[fits]
             if candidates.size == 0:
                 continue
             j = candidates[int(np.argmax(inst.profits[candidates]))]

@@ -24,6 +24,19 @@ the fitting pool (:meth:`fitting_items`)
     of an Add pass, turning the per-add cost from O(m·n_free) into O(m·k)
     for a rapidly shrinking k.  Any :meth:`drop`, :meth:`reset`, or change
     of the exclusion mask invalidates the pool and forces a full rescan.
+    Re-installing an exclusion mask identical to the current one is a no-op
+    and keeps the pool warm.
+
+the bitset scan (integer-valued instances)
+    When :class:`~repro.core.bitset.HotTables` detects integral weights and
+    capacities (every GK / FP / Chu–Beasley benchmark), the fitting query
+    drops the elementwise compare entirely: per constraint the fitting set
+    is a prefix of the weight-sorted item order, found by one vectorized
+    ``searchsorted``, and the prefix *bitsets* are precomputed — so the scan
+    is an AND-reduction over ``m + 1`` rows of ``uint64`` words (the extra
+    row is the incrementally-maintained free-item bitset).  Exact by the
+    integer gate documented in :mod:`repro.core.bitset`; :attr:`use_bitset`
+    switches the path at runtime so tests can pin the equivalence.
 
 Exactness contract: every result the kernel returns is bit-identical to the
 naive recomputation it replaces (same elementwise comparisons, same
@@ -43,9 +56,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .bitset import WORD_BITS, n_words
 from .instance import MKPInstance
 
 __all__ = ["EvalKernel", "KernelCounters", "drop_ratios", "FIT_EPS"]
+
+#: Single-bit uint64 masks for the free-word maintenance, and their
+#: complements (precomputed: ``~_BIT[k]`` per call costs a numpy scalar op).
+_BIT = (np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64)).copy()
+_NOT_BIT = np.bitwise_not(_BIT)
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+try:  # single-ufunc clamp (the public np.clip wrapper costs ~2x per call)
+    from numpy._core.umath import clip as _clip
+except ImportError:  # pragma: no cover - numpy < 2
+    try:
+        from numpy.core.umath import clip as _clip  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - future numpy layout changes
+
+        def _clip(a, lo, hi, out):  # type: ignore[misc]
+            np.maximum(a, lo, out=out)
+            return np.minimum(out, hi, out=out)
 
 #: Feasibility tolerance of the fitting scan (matches the historical
 #: ``SearchState.fitting_items`` comparison).
@@ -110,12 +141,16 @@ class EvalKernel:
         "load",
         "slack",
         "value",
+        "n_packed",
+        "use_bitset",
         "_i_star",
         "_ratio",
         "_excluded",
         "_n_excluded",
         "_pool",
         "_pool_w",
+        "_hot",
+        "_int",
         "_weightsT",
         "_ratio_matrix",
         "_ratio_rows",
@@ -123,6 +158,15 @@ class EvalKernel:
         "_le_buf",
         "_fits_buf",
         "_excl_idx",
+        "_excl_keep",
+        "_profits_list",
+        "_and_buf",
+        "_and_rows",
+        "_free_words",
+        "_fit_words",
+        "_fit_words_u8",
+        "_q_buf",
+        "_q_base",
     )
 
     def __init__(self, instance: MKPInstance, counters: KernelCounters | None = None) -> None:
@@ -133,6 +177,9 @@ class EvalKernel:
         self.load = np.zeros(m, dtype=np.float64)
         self.slack = instance.capacities.copy()
         self.value: float = 0.0
+        #: number of packed items (``x.sum()``), maintained incrementally so
+        #: the masked drop scan never materializes ``packed_items()``
+        self.n_packed = 0
         #: cached argmin of slack; -1 = invalid
         self._i_star = -1
         #: scratch for candidate score vectors (views of length k are handed out)
@@ -144,13 +191,17 @@ class EvalKernel:
         self._pool: np.ndarray | None = None
         #: weight rows (one contiguous length-m row per pool candidate)
         self._pool_w: np.ndarray | None = None
+        #: per-instance shared hot tables (transpose, ratios, bitset tables)
+        hot = instance.hot
+        self._hot = hot
+        self._int = hot.integer
         #: C-contiguous (n, m) transpose: gathering an item's weight column
         #: becomes a contiguous row read instead of an n-strided one
-        self._weightsT = np.ascontiguousarray(instance.weights.T)
+        self._weightsT = hot.weightsT
         #: precomputed drop-rule ratios ``a_{i,j} / c_j`` — scoring a scan is
         #: then a single row gather instead of two gathers plus a divide
-        self._ratio_matrix = instance.weights / instance.profits
-        self._ratio_rows = list(self._ratio_matrix)
+        self._ratio_matrix = hot.ratio_matrix
+        self._ratio_rows = hot.ratio_rows
         #: ``x == 0`` maintained incrementally (one bool write per add/drop)
         self._free = np.ones(n, dtype=bool)
         #: full-scan scratch: elementwise <= over (n, m), and its row-AND
@@ -158,6 +209,39 @@ class EvalKernel:
         self._fits_buf = np.empty(n, dtype=bool)
         #: indices currently excluded (mirror of the bitmask, for cheap unset)
         self._excl_idx: np.ndarray | None = None
+        #: packed keep-mask (~excluded) applied to the bitset fitting scan
+        self._excl_keep: np.ndarray | None = None
+        #: python-float profits: scalar reads in add/drop skip numpy boxing
+        self._profits_list = hot.profits_list
+        #: whether the fitting scan takes the prefix-bitmask path; flip off to
+        #: force the generic elementwise scan (tests pin path equivalence)
+        self.use_bitset = self._int is not None
+        if self._int is not None:
+            nw = self._int.words
+            #: AND-reduction workspace: rows 0..m-1 receive the per-constraint
+            #: prefix bitsets; row m *is* the free-item bitset (maintained
+            #: incrementally, one scalar XOR per add/drop)
+            self._and_buf = np.empty((m + 1, nw), dtype=np.uint64)
+            self._and_rows = self._and_buf[:m]
+            self._free_words = self._and_buf[m]
+            self._free_words[:] = ~np.uint64(0)
+            tail = n % WORD_BITS
+            if tail:
+                self._free_words[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+            self._fit_words = np.empty(nw, dtype=np.uint64)
+            self._fit_words_u8 = self._fit_words.view(np.uint8)
+            self._q_buf = np.empty(m, dtype=np.int64)
+            #: unclamped searchsorted queries ``slack + i * OFF``, maintained
+            #: incrementally in exact int64 arithmetic by add/drop/reset
+            self._q_base = self._int.q_offsets + self.slack.astype(np.int64)
+        else:
+            self._and_buf = None
+            self._and_rows = None
+            self._free_words = None
+            self._fit_words = None
+            self._fit_words_u8 = None
+            self._q_buf = None
+            self._q_base = None
 
     # ------------------------------------------------------------------ #
     # State loading
@@ -177,7 +261,15 @@ class EvalKernel:
             self.load[:] = self.instance.weights @ self.x.astype(np.float64)
             self.value = float(self.instance.profits @ self.x.astype(np.float64))
         np.equal(self.x, 0, out=self._free)
+        self.n_packed = int(self.x.shape[0] - np.count_nonzero(self._free))
         np.subtract(self.instance.capacities, self.load, out=self.slack)
+        if self._free_words is not None:
+            packed_free = np.packbits(self._free, bitorder="little")
+            self._free_words[:] = 0
+            self._free_words.view(np.uint8)[: packed_free.size] = packed_free
+            np.add(
+                self._int.q_offsets, self.slack, out=self._q_base, casting="unsafe"
+            )
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -196,9 +288,13 @@ class EvalKernel:
             raise ValueError(f"item {j} is already in the knapsack")
         self.x[j] = 1
         self._free[j] = False
+        if self._free_words is not None:
+            self._free_words[j >> 6] ^= _BIT[j & 63]
+            self._q_base -= self._int.weightsT_int[j]
+        self.n_packed += 1
         self.load += self._weightsT[j]
         np.subtract(self.instance.capacities, self.load, out=self.slack)
-        self.value += self.instance.profits[j]
+        self.value += self._profits_list[j]
         self._i_star = -1
 
     def drop(self, j: int) -> None:
@@ -207,9 +303,13 @@ class EvalKernel:
             raise ValueError(f"item {j} is not in the knapsack")
         self.x[j] = 0
         self._free[j] = True
+        if self._free_words is not None:
+            self._free_words[j >> 6] ^= _BIT[j & 63]
+            self._q_base += self._int.weightsT_int[j]
+        self.n_packed -= 1
         self.load -= self._weightsT[j]
         np.subtract(self.instance.capacities, self.load, out=self.slack)
-        self.value -= self.instance.profits[j]
+        self.value -= self._profits_list[j]
         self._invalidate()
 
     # ------------------------------------------------------------------ #
@@ -239,22 +339,45 @@ class EvalKernel:
 
         Changing the mask invalidates the fitting pool; the Add pass sets it
         once per compound move, so the hot path pays this O(1) + O(|items|).
+        Re-installing a mask identical to the current one (including the
+        empty mask when nothing is excluded) is a no-op: the pool stays warm
+        instead of forcing a full rescan on the next query.
         """
+        if items is None:
+            idx = None
+        else:
+            idx = (
+                items.astype(np.intp, copy=False)
+                if isinstance(items, np.ndarray)
+                else np.fromiter(items, dtype=np.intp)
+            )
+            if idx.size == 0:
+                idx = None
+        if idx is None:
+            if self._n_excluded == 0:
+                return
+        elif self._excl_idx is not None and np.array_equal(idx, self._excl_idx):
+            return
         if self._n_excluded:
             self._excluded[self._excl_idx] = False
             self._excl_idx = None
             self._n_excluded = 0
-            self._pool = None
-            self._pool_w = None
-        if items is not None and len(items) > 0:
-            idx = np.fromiter(items, dtype=np.intp) if not isinstance(
-                items, np.ndarray
-            ) else items.astype(np.intp, copy=False)
+        if idx is not None:
             self._excluded[idx] = True
             self._excl_idx = idx
             self._n_excluded = int(idx.size)
-            self._pool = None
-            self._pool_w = None
+            if self._fit_words is not None:
+                # precompute the packed ~excluded mask: the fitting scan then
+                # applies all exclusions with one word-level AND
+                keep = self._excl_keep
+                if keep is None:
+                    keep = np.empty_like(self._fit_words)
+                keep.fill(_ALL_ONES)
+                for j in idx:
+                    keep[j >> 6] &= _NOT_BIT[j & 63]
+                self._excl_keep = keep
+        self._pool = None
+        self._pool_w = None
 
     def clear_exclusions(self) -> None:
         self.set_exclusions(None)
@@ -265,11 +388,19 @@ class EvalKernel:
     def fitting_items(self) -> np.ndarray:
         """Free, non-excluded items that fit the current slack, ascending.
 
-        Pool-accelerated: inside an Add pass only the previous survivors are
-        rescanned, and their weight rows stay gathered in ``_pool_w`` so the
-        rescan is one contiguous (k, m) broadcast with no re-gather.  The
-        result array must not be mutated by callers.
+        On the bitset path (integer-valued instances) every query is a fresh
+        whole-neighborhood scan: one vectorized ``searchsorted`` for the m
+        per-constraint prefix lengths, one AND-reduction over ``m + 1`` word
+        rows, one decode — cheap enough that no pool is needed.  The generic
+        path is pool-accelerated: inside an Add pass only the previous
+        survivors are rescanned, and their weight rows stay gathered in
+        ``_pool_w`` so the rescan is one contiguous (k, m) broadcast with no
+        re-gather.  Both paths return the identical ascending index array
+        (pinned by ``tests/test_bitset.py``); the result must not be mutated
+        by callers.
         """
+        if self.use_bitset:
+            return self._fitting_items_bitset()
         if self._pool is not None:
             # Rescan only the previous survivors: one fused mask drops both
             # the just-packed item and anything the shrunken slack rejects.
@@ -296,6 +427,75 @@ class EvalKernel:
         self._pool = cand
         self._pool_w = w
         return cand
+
+    def _fitting_items_bitset(self) -> np.ndarray:
+        """Prefix-bitmask fitting scan, decoded to ascending indices."""
+        self.fitting_words()
+        return self.decode_words_u8(self._fit_words_u8)
+
+    def fitting_words(self) -> np.ndarray:
+        """Packed bitset of the free, non-excluded items fitting the slack.
+
+        ``w <= slack + FIT_EPS`` over integral data is the int64 comparison
+        ``w <= slack``, so per constraint the fitting set is the prefix of
+        the weight-sorted order whose length ``searchsorted`` returns; the
+        precomputed prefix bitsets turn the m-way intersection (plus the
+        free-item filter) into one word-level AND-reduction.  The returned
+        array is the kernel's scratch — consume it before the next call and
+        do not mutate it.  Bitset-mode instances only.
+        """
+        tables = self._int
+        q = self._q_buf
+        # _q_base is the exact int64 mirror of slack + i * OFF; the clamps
+        # route out-of-range slacks to the nothing-fits / everything-fits
+        # prefix rows.
+        _clip(self._q_base, tables.q_lo, tables.q_hi, out=q)
+        pos = tables.flat_sorted.searchsorted(q, side="right")
+        tables.cumbits.take(pos, axis=0, out=self._and_rows)
+        words = np.bitwise_and.reduce(self._and_buf, axis=0, out=self._fit_words)
+        if self._n_excluded:
+            words &= self._excl_keep
+        return words
+
+    def fitting_words_without(self, i: int, mask_words: np.ndarray) -> np.ndarray:
+        """Packed subset of ``mask_words`` fitting the slack with item ``i`` out.
+
+        The §3.2 swap scan asks, per packed item ``i``, which candidates fit
+        the hypothetical slack ``b - load + a_{·,i}`` — one extra int64 add
+        on the query vector reuses the same prefix-bitmask machinery as
+        :meth:`fitting_words`.  ``mask_words`` must already encode the
+        free-item filter (it replaces the resident free row in the AND);
+        exclusions are deliberately not applied.  Returns kernel scratch —
+        consume before the next fitting scan.  Bitset-mode instances only.
+        """
+        tables = self._int
+        q = self._q_buf
+        np.add(self._q_base, tables.weightsT_int[i], out=q)
+        _clip(q, tables.q_lo, tables.q_hi, out=q)
+        pos = tables.flat_sorted.searchsorted(q, side="right")
+        tables.cumbits.take(pos, axis=0, out=self._and_rows)
+        words = np.bitwise_and.reduce(self._and_rows, axis=0, out=self._fit_words)
+        words &= mask_words
+        return words
+
+    def decode_words_u8(self, words_u8: np.ndarray) -> np.ndarray:
+        """Ascending set-bit indices of a packed vector viewed as ``uint8``."""
+        bits = np.unpackbits(words_u8, count=self.x.shape[0], bitorder="little")
+        return bits.nonzero()[0]
+
+    @property
+    def free_words(self) -> np.ndarray:
+        """Packed free-item bitset (bitset-mode instances only; do not mutate)."""
+        return self._free_words
+
+    @property
+    def hot(self):
+        """The instance's shared :class:`~repro.core.bitset.HotTables`."""
+        return self._hot
+
+    def ratio_row(self, i: int) -> np.ndarray:
+        """Full precomputed drop-rule ratio row ``a_{i,·} / c`` (do not mutate)."""
+        return self._ratio_rows[i]
 
     # ------------------------------------------------------------------ #
     # Candidate scoring

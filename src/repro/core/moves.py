@@ -86,6 +86,21 @@ class MoveEngine:
         self.add_candidates = int(add_candidates)
         #: Shared per-thread evaluation ledger (owned by the state's kernel).
         self.counters: KernelCounters = state.kernel.counters
+        n = state.instance.n_items
+        #: whole-neighborhood drop-scan scratch: candidate mask and the
+        #: masked score vector (-inf on non-candidates)
+        self._drop_mask = np.empty(n, dtype=bool)
+        self._drop_scores = np.empty(n, dtype=np.float64)
+        #: zero-copy bool view of the kernel's 0/1 vector (0/1 int8 is a
+        #: valid bool buffer) — the packed-item mask without a compare
+        self._x_bool = state.kernel.x.view(np.bool_)
+        #: admissible-add word scratch (bitset-mode kernels only)
+        if state.kernel._fit_words is not None:
+            self._allowed_words = np.empty_like(state.kernel._fit_words)
+            self._allowed_words_u8 = self._allowed_words.view(np.uint8)
+        else:
+            self._allowed_words = None
+            self._allowed_words_u8 = None
 
     @property
     def evaluations(self) -> int:
@@ -106,18 +121,34 @@ class MoveEngine:
         is tabu the rule would deadlock; the paper does not specify this
         case, so we fall back to ignoring tabu status (a standard TS escape
         that keeps the thread moving; documented in DESIGN.md §6 notes).
+
+        One whole-neighborhood masked pass: packed-and-non-tabu is a single
+        boolean expression over all n items, the precomputed ratio row is
+        masked to -inf off-candidates, and the argmax ties are read off the
+        full score vector.  The tie set (ascending item indices) and the
+        number of ``rng`` draws are exactly those of the historical
+        candidate-list scan, so trajectories are bit-identical (pinned by
+        ``tests/test_golden_trajectory.py``).
         """
         kernel = self.state.kernel
-        packed = kernel.packed_items()
-        if packed.size == 0:
+        if kernel.n_packed == 0:
             return None
         i_star = kernel.most_saturated_constraint()
-        candidates = self.tabu.admissible(packed)
-        if candidates.size == 0:
-            candidates = packed
-        ratios = kernel.scores(i_star, candidates)
-        self.counters.move_evaluations += int(candidates.size)
-        return int(candidates[_argmax_random_tie(ratios, self.rng)])
+        mask = self._drop_mask
+        np.logical_and(self._x_bool, self.tabu.nontabu_mask(), out=mask)
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            np.copyto(mask, self._x_bool)
+            count = kernel.n_packed
+        scores = self._drop_scores
+        scores.fill(-np.inf)
+        np.copyto(scores, kernel.ratio_row(i_star), where=mask)
+        self.counters.move_evaluations += count
+        np.equal(scores, scores.max(), out=mask)
+        ties = mask.nonzero()[0]
+        if ties.size == 1:
+            return int(ties[0])
+        return int(ties[self.rng.integers(0, ties.size)])
 
     def drop_step(self, nb_drop: int) -> list[int]:
         """Perform up to ``nb_drop`` drops; returns the dropped indices."""
@@ -157,29 +188,58 @@ class MoveEngine:
         return self._select_add(best_value)
 
     def _select_add(self, best_value: float) -> int | None:
-        """The Add selection rule against the kernel's current exclusions."""
+        """The Add selection rule against the kernel's current exclusions.
+
+        On bitset-mode kernels the tabu filter happens at the word level —
+        fitting words AND non-tabu words — and only the admissible set is
+        ever decoded to indices; the generic path filters the decoded
+        fitting array with the boolean mask.  Both produce the identical
+        ascending ``allowed`` array (and charge the identical fitting-set
+        size), so the scoring and tie-breaking below are path-independent.
+        """
         kernel = self.state.kernel
-        fitting = kernel.fitting_items()
-        if fitting.size == 0:
-            return None
-        self.counters.move_evaluations += fitting.size
-        nontabu = self.tabu.nontabu_mask()[fitting]
-        allowed = fitting[nontabu]
-        if allowed.size == 0:
-            # Aspiration: a tabu add is allowed if it beats the incumbent.
-            tabu_items = fitting[~nontabu]
-            gains = kernel.value + self.state.instance.profits[tabu_items]
-            aspire = tabu_items[gains > best_value]
-            if aspire.size == 0:
+        if kernel.use_bitset:
+            fit_words = kernel.fitting_words()
+            # popcount via one arbitrary-precision int: cheaper than a numpy
+            # reduction at word counts this small
+            n_fitting = int.from_bytes(fit_words.tobytes(), "little").bit_count()
+            if n_fitting == 0:
                 return None
-            allowed = aspire
+            self.counters.move_evaluations += n_fitting
+            nontabu_words = self.tabu.nontabu_words()
+            np.bitwise_and(fit_words, nontabu_words, out=self._allowed_words)
+            allowed = kernel.decode_words_u8(self._allowed_words_u8)
+            if allowed.size == 0:
+                # Aspiration: a tabu add is allowed if it beats the incumbent.
+                tabu_items = kernel.decode_words_u8(
+                    np.bitwise_and(fit_words, ~nontabu_words).view(np.uint8)
+                )
+                gains = kernel.value + self.state.instance.profits[tabu_items]
+                aspire = tabu_items[gains > best_value]
+                if aspire.size == 0:
+                    return None
+                allowed = aspire
+        else:
+            fitting = kernel.fitting_items()
+            if fitting.size == 0:
+                return None
+            self.counters.move_evaluations += fitting.size
+            nontabu = self.tabu.nontabu_mask()[fitting]
+            allowed = fitting[nontabu]
+            if allowed.size == 0:
+                tabu_items = fitting[~nontabu]
+                gains = kernel.value + self.state.instance.profits[tabu_items]
+                aspire = tabu_items[gains > best_value]
+                if aspire.size == 0:
+                    return None
+                allowed = aspire
         i_star = kernel.most_saturated_constraint()
         ratios = kernel.scores(i_star, allowed)
         if self.add_candidates == 1 or allowed.size == 1:
             return int(allowed[_argmin_random_tie(ratios, self.rng)])
         k = min(self.add_candidates, allowed.size)
-        top = np.argpartition(ratios, k - 1)[:k]
-        return int(allowed[self.rng.choice(top)])
+        top = ratios.argpartition(k - 1)[:k]
+        return int(allowed[top[self.rng.integers(0, k)]])
 
     def add_step(
         self, best_value: float, exclude: set[int] | None = None
@@ -220,11 +280,17 @@ class MoveEngine:
 
 
 def _argmax_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
-    """Index of the maximum, breaking exact ties uniformly at random."""
+    """Index of the maximum, breaking exact ties uniformly at random.
+
+    ``ties[rng.integers(0, ties.size)]`` draws the same variate from the
+    same stream as ``rng.choice(ties)`` (choice reduces to exactly that
+    integer draw for a 1-D array) while skipping choice's per-call argument
+    normalization — measurably cheaper in the move loop.
+    """
     ties = (values == values.max()).nonzero()[0]
     if ties.size == 1:
         return int(ties[0])
-    return int(rng.choice(ties))
+    return int(ties[rng.integers(0, ties.size)])
 
 
 def _argmin_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
@@ -232,4 +298,4 @@ def _argmin_random_tie(values: np.ndarray, rng: np.random.Generator) -> int:
     ties = (values == values.min()).nonzero()[0]
     if ties.size == 1:
         return int(ties[0])
-    return int(rng.choice(ties))
+    return int(ties[rng.integers(0, ties.size)])

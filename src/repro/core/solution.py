@@ -21,10 +21,67 @@ from typing import Iterable
 
 import numpy as np
 
+from .bitset import (
+    bytes_to_words,
+    hamming_words,
+    mean_pairwise_hamming,
+    pack_bits,
+    unpack_bits,
+    words_to_bytes,
+)
 from .instance import MKPInstance
 from .kernels import EvalKernel
 
-__all__ = ["Solution", "SearchState", "hamming_distance", "mean_pairwise_distance"]
+__all__ = [
+    "Solution",
+    "SearchState",
+    "hamming_distance",
+    "mean_pairwise_distance",
+    "set_wire_codec",
+    "wire_codec_enabled",
+]
+
+#: When True (the default), pickling a :class:`Solution` ships the packed
+#: 1-bit-per-item frame instead of the dense ``int8`` vector — ~63 payload
+#: bytes for a 500-item instance versus ~500 (plus ndarray pickle framing).
+#: The master–slave round trip serializes every elite solution each round,
+#: so the wire codec is what makes the router's bytes/round scale with
+#: ``n/8`` rather than ``n``.  Toggleable for A/B measurement in benchmarks.
+_WIRE_CODEC = True
+
+
+def set_wire_codec(enabled: bool) -> None:
+    """Enable/disable the packed pickle representation of :class:`Solution`."""
+    global _WIRE_CODEC
+    _WIRE_CODEC = bool(enabled)
+
+
+def wire_codec_enabled() -> bool:
+    """Whether :class:`Solution` currently pickles as packed-bitset frames."""
+    return _WIRE_CODEC
+
+
+def _solution_from_wire(payload: bytes, n_items: int, value: float) -> "Solution":
+    """Rebuild a :class:`Solution` from its packed wire frame (unpickle hook)."""
+    words = bytes_to_words(payload, n_items)
+    x = unpack_bits(words, n_items)
+    sol = Solution.trusted(x, value)
+    # Seed the packing memo: the receiver's first dedup key / Hamming query
+    # should not re-pack what just arrived packed.
+    words.setflags(write=False)
+    object.__setattr__(sol, "_packed_words", words)
+    return sol
+
+
+def _solution_from_dense(x: np.ndarray, value: float) -> "Solution":
+    """Rebuild a :class:`Solution` from its dense vector (codec-off path).
+
+    The codec-off wire format pickles ``x`` as an ordinary ndarray — the
+    same bytes the default dataclass pickling shipped before the packed
+    codec existed — so A/B benchmarks of the two formats compare against
+    the true historical baseline.
+    """
+    return Solution.trusted(np.ascontiguousarray(x, dtype=np.int8), value)
 
 
 @dataclass(frozen=True)
@@ -80,9 +137,38 @@ class Solution:
     def is_feasible(self, instance: MKPInstance) -> bool:
         return instance.is_feasible(self.x)
 
+    def packed_words(self) -> np.ndarray:
+        """Packed little-endian ``uint64`` codec of ``x`` (memoized).
+
+        Solutions are immutable, so the packing is done at most once and
+        shared by every Hamming-distance query, dedup key, and wire frame
+        that touches this solution afterwards.
+        """
+        words = self.__dict__.get("_packed_words")
+        if words is None:
+            words = pack_bits(self.x)
+            words.setflags(write=False)
+            object.__setattr__(self, "_packed_words", words)
+        return words
+
+    def packed_bytes(self) -> bytes:
+        """Minimal ``ceil(n/8)``-byte frame of ``x`` (wire/dedup format)."""
+        return words_to_bytes(self.packed_words(), self.n_items)
+
+    def __reduce__(self):
+        if _WIRE_CODEC:
+            return (_solution_from_wire, (self.packed_bytes(), self.n_items, self.value))
+        return (_solution_from_dense, (self.x, self.value))
+
     def distance(self, other: "Solution") -> int:
-        """Hamming distance to another solution (SGP dispersion metric)."""
-        return hamming_distance(self.x, other.x)
+        """Hamming distance to another solution (SGP dispersion metric).
+
+        Runs on the memoized packed words — XOR + popcount over ``n/64``
+        words instead of an elementwise compare over ``n`` bytes.
+        """
+        if self.x.shape != other.x.shape:
+            raise ValueError(f"shape mismatch: {self.x.shape} vs {other.x.shape}")
+        return hamming_words(self.packed_words(), other.packed_words())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Solution):
@@ -120,16 +206,13 @@ def mean_pairwise_distance(solutions: Iterable[Solution]) -> float:
     sols = list(solutions)
     if len(sols) < 2:
         return 0.0
-    # For 0/1 vectors the pairwise Hamming matrix is s_i + s_j - 2 * G_ij
-    # with G the Gram matrix — one matmul instead of a Python loop over
-    # rows (this runs every SGP round over P×B elite vectors).  Integer
-    # arithmetic throughout, so the result is exact.
-    xs = np.stack([s.x for s in sols]).astype(np.int64)
-    gram = xs @ xs.T
-    ones = xs.sum(axis=1)
-    total_ordered = int((ones[:, None] + ones[None, :] - 2 * gram).sum())
-    p = len(sols)
-    return total_ordered / (p * (p - 1))
+    # Broadcast XOR + popcount over the memoized packed words — the integer
+    # ordered-pair total is the same number the historical Gram-matrix
+    # formula produced, so the dispersion statistic (and every SGP decision
+    # thresholded against it) is bit-identical.  This runs every SGP round
+    # over P×B elite vectors.
+    packed = np.stack([s.packed_words() for s in sols])
+    return mean_pairwise_hamming(packed)
 
 
 class SearchState:

@@ -99,6 +99,11 @@ class Strategy:
         if self.nb_local < 1:
             raise ValueError(f"nb_local must be >= 1; got {self.nb_local}")
 
+    def __reduce__(self):
+        # Compact wire form: constructor args only, no per-field-name state
+        # dict — strategies ride in every SlaveTask, so framing bytes count.
+        return (Strategy, (self.lt_length, self.nb_drop, self.nb_local))
+
     # ------------------------------------------------------------------ #
     # Directed mutations used by the SGP
     # ------------------------------------------------------------------ #

@@ -48,6 +48,10 @@ class TabuList:
         self._mask = np.zeros(n_items, dtype=bool)
         self._nontabu = np.ones(n_items, dtype=bool)
         self._mask_clock = -1
+        #: packed uint64 mirror of ``_nontabu`` (lazily allocated; used by the
+        #: word-level Add scan of bitset-mode kernels), with its own clock
+        self._nontabu_words: np.ndarray | None = None
+        self._words_clock = -1
 
     # ------------------------------------------------------------------ #
     # Clock
@@ -74,11 +78,13 @@ class TabuList:
         until = self._clock + self.tenure + int(extra_tenure)
         self._expiry[items] = np.maximum(self._expiry[items], until)
         self._mask_clock = -1
+        self._words_clock = -1
 
     def clear(self) -> None:
         """Forget all tabu statuses (used at diversification restarts)."""
         self._expiry[:] = 0
         self._mask_clock = -1
+        self._words_clock = -1
 
     def set_tenure(self, tenure: int) -> None:
         """Change ``Lt_length`` (the master's SGP retunes this dynamically)."""
@@ -108,6 +114,26 @@ class TabuList:
         if self._mask_clock != self._clock:
             self._refresh_masks()
         return self._nontabu
+
+    def nontabu_words(self) -> np.ndarray:
+        """Packed ``uint64`` mirror of :meth:`nontabu_mask` (do not mutate).
+
+        Refreshed at most once per clock/mutation — the word-level Add scan
+        queries it several times per move, so the packbits cost amortizes
+        the same way the boolean mask cache does.  Tail bits beyond
+        ``n_items`` are zero.
+        """
+        if self._words_clock != self._clock:
+            mask = self.nontabu_mask()
+            words = self._nontabu_words
+            if words is None:
+                nw = (self.n_items + 63) >> 6
+                words = np.zeros(nw, dtype=np.uint64)
+                self._nontabu_words = words
+            packed = np.packbits(mask, bitorder="little")
+            words.view(np.uint8)[: packed.size] = packed
+            self._words_clock = self._clock
+        return self._nontabu_words
 
     def tabu_mask(self, items: np.ndarray | None = None) -> np.ndarray:
         """Boolean tabu mask over ``items`` (all items when ``None``).

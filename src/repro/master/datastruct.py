@@ -51,9 +51,12 @@ class SlaveEntry:
         SGP's dispersion statistic reflects the slave's recent history.
         """
         previous_best = self.best.value if self.best is not None else float("-inf")
-        seen = {s.x.tobytes() for s in self.best_solutions}
+        # Dedup keys are the packed 1-bit frames (memoized on the solutions)
+        # rather than the dense int8 bytes: 8× smaller keys, and solutions
+        # that crossed the wire already carry the packing.
+        seen = {s.packed_bytes() for s in self.best_solutions}
         for sol in elite:
-            key = sol.x.tobytes()
+            key = sol.packed_bytes()
             if key not in seen:
                 self.best_solutions.append(sol)
                 seen.add(key)

@@ -17,6 +17,12 @@ alpha pulls most slaves onto S* (macro-intensification); a small alpha plus
 the random injections of rule 2 spreads them out (macro-diversification).
 :class:`AlphaController` implements that adaptation: raise alpha while the
 global best keeps improving, decay it when the search stalls.
+
+The :class:`ISPDecision` solutions chosen here are exactly what the master
+serializes into each round's ``SlaveTask``; since ``rule 1`` hands the *same*
+global-best :class:`~repro.core.solution.Solution` object to many slaves,
+its packed wire frame and bitset words are memoized once and reused across
+every copy shipped that round (see :meth:`Solution.packed_words`).
 """
 
 from __future__ import annotations

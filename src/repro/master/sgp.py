@@ -15,6 +15,13 @@ nb_it parameter [diversify].  In the opposite, if the B best solutions are
 very far ones another, the master will force slave processors to do
 intensification ... by reducing the values of lt_size and nb_drop and
 incrementing nb_it."
+
+The dispersion statistic is the mean pairwise Hamming distance over each
+entry's elite set, computed on the solutions' memoized packed-bitset words
+(XOR + popcount over ``n/64``-word rows; see
+:func:`repro.core.solution.mean_pairwise_distance`) — the number is
+bit-identical to the dense elementwise version, so every ``close``/``far``
+classification below is unaffected by the packed representation.
 """
 
 from __future__ import annotations

@@ -56,14 +56,20 @@ class MessageRouter:
     """Shared mailbox fabric for a set of in-process endpoints.
 
     Endpoint ``r``'s inbox for tag ``t`` is keyed ``(r, t)``.  The router
-    also keeps byte counters per (src, dest) pair so the simulated farm can
-    charge the exact traffic to the crossbar.
+    also keeps byte counters per (src, dest) pair and per tag so the
+    simulated farm can charge the exact traffic to the crossbar and the
+    benchmarks can attribute it to task/report streams.  Charged sizes are
+    actual pickle sizes, so they reflect the packed-bitset wire codec of
+    :class:`~repro.core.solution.Solution` (``ceil(n/8)``-byte frames
+    instead of dense ``int8`` vectors) whenever it is enabled.
     """
 
     def __init__(self) -> None:
         self._queues: dict[tuple[int, int], deque[Any]] = defaultdict(deque)
         self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
         self.messages_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+        self.bytes_by_tag: dict[int, int] = defaultdict(int)
+        self.messages_by_tag: dict[int, int] = defaultdict(int)
 
     def push(self, src: int, dest: int, tag: int, obj: Any) -> int:
         """Enqueue and return the charged payload size in bytes."""
@@ -71,6 +77,8 @@ class MessageRouter:
         self._queues[(dest, tag)].append(obj)
         self.bytes_by_pair[(src, dest)] += nbytes
         self.messages_by_pair[(src, dest)] += 1
+        self.bytes_by_tag[tag] += nbytes
+        self.messages_by_tag[tag] += 1
         return nbytes
 
     def pop(self, dest: int, tag: int) -> Any:

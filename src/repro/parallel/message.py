@@ -7,6 +7,13 @@ scoring/accounting signals).  Both are plain picklable dataclasses so the
 same objects travel over an in-process deque, a ``multiprocessing`` pipe, or
 — in the simulated farm — feed the byte-size cost model via
 :func:`payload_nbytes`.
+
+The dominant payload on both legs is 0/1 solution vectors.  Those ship as
+packed-bitset frames (``ceil(n/8)`` payload bytes, ~64 for a 500-item
+instance) via :class:`~repro.core.solution.Solution`'s pickle hook rather
+than as pickled dense ``int8`` ndarrays — see ``set_wire_codec`` /
+``wire_codec_enabled`` in :mod:`repro.core.solution` for the toggle, and
+``benchmarks/bench_bitset.py`` for the measured bytes-per-round shrink.
 """
 
 from __future__ import annotations
@@ -46,6 +53,29 @@ class SlaveTask:
     #: unique per (round, slave) — the idempotency key echoed by the report
     seq_id: int = 0
 
+    def __reduce__(self):
+        # Compact wire form: positional args with the strategy and budget
+        # flattened to plain tuples — the dataclass state dicts and nested
+        # class references would otherwise cost more than the packed
+        # solution frame they accompany.
+        budget = self.budget
+        return (
+            _task_from_wire,
+            (
+                self.x_init,
+                self.strategy.as_tuple(),
+                (
+                    budget.max_evaluations,
+                    budget.max_moves,
+                    budget.wall_seconds,
+                    budget.target_value,
+                ),
+                self.seed,
+                self.round_index,
+                self.seq_id,
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class SlaveReport:
@@ -67,10 +97,37 @@ class SlaveReport:
     round_index: int = 0
     seq_id: int = 0
 
+    def __reduce__(self):
+        # Compact wire form (see SlaveTask.__reduce__).
+        return (
+            SlaveReport,
+            (self.slave_id, self.best, self.elite, self.initial_value,
+             self.evaluations, self.moves, self.round_index, self.seq_id),
+        )
+
     @property
     def improved(self) -> bool:
         """§4.2 scoring signal: final cost strictly above initial cost."""
         return self.best.value > self.initial_value
+
+
+def _task_from_wire(
+    x_init: Solution,
+    strategy: tuple[int, int, int],
+    budget: tuple[int | None, int | None, float | None, float | None],
+    seed: int,
+    round_index: int,
+    seq_id: int,
+) -> SlaveTask:
+    """Rebuild a :class:`SlaveTask` from its compact wire tuple."""
+    return SlaveTask(
+        x_init=x_init,
+        strategy=Strategy(*strategy),
+        budget=Budget(*budget),
+        seed=seed,
+        round_index=round_index,
+        seq_id=seq_id,
+    )
 
 
 def payload_nbytes(obj: object) -> int:
