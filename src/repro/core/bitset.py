@@ -229,6 +229,10 @@ class ProfitOrderTables:
     sorted_profits: np.ndarray  # (n,) float64 ascending
     suffix: np.ndarray  # (n + 1, W) uint64
 
+    @property
+    def nbytes(self) -> int:
+        return self.sorted_profits.nbytes + self.suffix.nbytes
+
 
 @dataclass(frozen=True)
 class HotTables:
@@ -245,6 +249,21 @@ class HotTables:
     profits_list: list  # python-float profits (scalar reads without numpy boxing)
     integer: IntegerScanTables | None  # None => generic elementwise scans
     profit_order: ProfitOrderTables | None
+
+    @property
+    def nbytes(self) -> int:
+        """Resident footprint of the shared tables (runtime-cache telemetry).
+
+        A worker's warm :class:`~repro.parallel.runtime.SlaveRuntime` keeps
+        these alive for the life of the process; the round-overhead bench
+        reports this figure so cache-residency costs stay visible.
+        """
+        total = self.weightsT.nbytes + self.ratio_matrix.nbytes
+        if self.integer is not None:
+            total += self.integer.nbytes
+        if self.profit_order is not None:
+            total += self.profit_order.nbytes
+        return total
 
     @staticmethod
     def build(

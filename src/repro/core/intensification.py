@@ -49,6 +49,11 @@ class IntensificationStats:
     def evaluations(self, value: int) -> None:
         self.counters.intensify_evaluations = int(value)
 
+    def reset(self) -> None:
+        """Zero the procedure tallies (the shared counters reset separately)."""
+        self.swaps_applied = 0
+        self.oscillations = 0
+
 
 def swap_intensification(
     state: SearchState,

@@ -250,8 +250,13 @@ class EvalKernel:
         """Load a 0/1 vector (all-zero when ``None``); recomputes from scratch.
 
         Uses the same ``A @ x`` matmul as the historical ``SearchState``
-        constructor so the float results are bit-identical.
+        constructor so the float results are bit-identical.  Any exclusion
+        mask is cleared: a reset kernel must be indistinguishable from a
+        freshly-constructed one (the warm-runtime reuse contract), and every
+        scan path already assumes an empty mask after a state reload.
         """
+        if self._n_excluded:
+            self.set_exclusions(None)
         if x is None:
             self.x[:] = 0
             self.load[:] = 0.0

@@ -361,6 +361,15 @@ class SearchState:
             raise ValueError("solution shape does not match instance")
         self.kernel.reset(solution.x)
 
+    def reset(self) -> None:
+        """Return to the all-zero state in place (warm-runtime reuse path).
+
+        Equivalent to constructing :meth:`empty` afresh — same exact zeros
+        for load and value, same invalidated caches — but reuses every
+        preallocated kernel buffer instead of reallocating the arena.
+        """
+        self.kernel.reset(None)
+
     def recompute(self) -> None:
         """Recompute load/value from scratch (defensive audit helper)."""
         self.kernel.reset(self.x.copy())

@@ -92,6 +92,22 @@ class TabuList:
             raise ValueError(f"tenure must be >= 0; got {tenure}")
         self.tenure = int(tenure)
 
+    def reset(self, tenure: int | None = None) -> None:
+        """Return to the freshly-constructed state (warm-runtime reuse path).
+
+        Unlike :meth:`clear` — which forgets tabu statuses but keeps the
+        clock running — this rewinds the clock to zero, so a reused list is
+        indistinguishable from ``TabuList(n_items, tenure)``.  The expiry
+        array, mask caches and packed-word mirror are reset in place, never
+        reallocated.
+        """
+        if tenure is not None:
+            self.set_tenure(tenure)
+        self._expiry[:] = 0
+        self._clock = 0
+        self._mask_clock = -1
+        self._words_clock = -1
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

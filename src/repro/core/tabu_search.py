@@ -169,6 +169,36 @@ class TabuSearch:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+    def rebind(
+        self,
+        strategy: Strategy | None = None,
+        rng: int | None | np.random.Generator = None,
+    ) -> "TabuSearch":
+        """Reset every per-run memory in place, optionally swapping inputs.
+
+        After ``rebind(strategy, seed)`` the thread is bit-identical to a
+        freshly constructed ``TabuSearch(instance, strategy, config,
+        rng=seed)`` — same RNG stream, same zeroed short/long-term memories,
+        same counter ledger — while reusing the preallocated arenas (kernel
+        buffers, tabu expiry arrays, history counts) instead of reallocating
+        them.  This is the warm-runtime reuse path of the parallel round
+        loop (:mod:`repro.parallel.runtime`); the reset contract is pinned
+        by ``tests/test_runtime.py`` and documented in DESIGN.md §5.4.
+        """
+        if strategy is not None:
+            self.strategy = strategy
+        self.rng = make_rng(rng)
+        self.engine.rng = self.rng
+        self.counters.reset()
+        self._intensify_stats.reset()
+        self.state.reset()
+        self.tabu.reset(self.strategy.lt_length)
+        self.history.reset()
+        self.elite.clear()
+        self.best = self.state.snapshot()
+        self._trace_control_flow = None
+        return self
+
     def run(
         self,
         x_init: Solution | None = None,

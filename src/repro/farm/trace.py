@@ -44,15 +44,53 @@ class FarmEvent:
 
 
 class FarmTrace:
-    """Append-only event log with aggregate queries."""
+    """Append-only event log with aggregate queries.
+
+    Besides the *virtual*-time events, the trace also carries the measured
+    wall-clock phase splits the backends report per round (scatter /
+    compute / gather plus per-slave gather idle) — the two time bases live
+    side by side so an experiment can check the simulated schedule against
+    what the real round loop actually did.
+    """
 
     def __init__(self) -> None:
         self.events: list[FarmEvent] = []
+        #: per-round measured wall phases, appended by the master:
+        #: ``{"round_index", "phase_seconds", "gather_idle_s", "master_wait_s"}``
+        self.wall_phases: list[dict] = []
 
     def record(
         self, proc: int, kind: EventKind, t_start: float, t_end: float, label: str = ""
     ) -> None:
         self.events.append(FarmEvent(proc, kind, t_start, t_end, label))
+
+    def record_wall_phases(
+        self,
+        round_index: int,
+        phase_seconds: dict[str, float],
+        gather_idle_s: dict[int, float] | None = None,
+        master_wait_s: float = 0.0,
+    ) -> None:
+        """Log one round's measured wall-clock phase split."""
+        self.wall_phases.append(
+            {
+                "round_index": int(round_index),
+                "phase_seconds": {k: float(v) for k, v in phase_seconds.items()},
+                "gather_idle_s": {
+                    int(k): float(v) for k, v in (gather_idle_s or {}).items()
+                },
+                "master_wait_s": float(master_wait_s),
+            }
+        )
+
+    def wall_phase_totals(self) -> dict[str, float]:
+        """Cumulative measured seconds per phase (plus ``master_wait``)."""
+        totals: dict[str, float] = defaultdict(float)
+        for rec in self.wall_phases:
+            for phase, seconds in rec["phase_seconds"].items():
+                totals[phase] += seconds
+            totals["master_wait"] += rec["master_wait_s"]
+        return dict(totals)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -259,6 +259,13 @@ class MasterProcess:
             )
             bytes_sent += sum(task_nbytes.values()) + sum(report_nbytes.values())
 
+            # --- measured wall phases (scatter/compute/gather) ----------
+            phase_wall = dict(getattr(self.backend, "last_phase_seconds", {}) or {})
+            gather_idle = dict(getattr(self.backend, "last_gather_idle_s", {}) or {})
+            master_wait = float(getattr(self.backend, "last_master_wait_s", 0.0) or 0.0)
+            if trace is not None and phase_wall:
+                trace.record_wall_phases(round_idx, phase_wall, gather_idle, master_wait)
+
             # --- fold results into the data structure -------------------
             improved_slaves = 0
             failed_slaves = 0
@@ -355,6 +362,8 @@ class MasterProcess:
                     backoff_slaves=backoff_slaves,
                     duplicate_reports=duplicate_reports,
                     stale_reports=stale_reports,
+                    phase_wall_seconds=phase_wall,
+                    gather_idle_s=gather_idle,
                 )
             )
 

@@ -28,6 +28,13 @@ class RoundStats:
     backoff_slaves: int = 0
     duplicate_reports: int = 0
     stale_reports: int = 0
+    #: measured wall-clock split of the backend round over
+    #: ``scatter``/``compute``/``gather`` (empty when the backend predates
+    #: the phase counters); distinct from the *virtual* farm seconds above
+    phase_wall_seconds: dict[str, float] = field(default_factory=dict)
+    #: seconds from gather start until each slave's first accepted report —
+    #: on the multiplexed gather a straggler inflates only its own entry
+    gather_idle_s: dict[int, float] = field(default_factory=dict)
 
 
 @dataclass

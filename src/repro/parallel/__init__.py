@@ -17,9 +17,11 @@ from .message import (
     SlaveTask,
     payload_nbytes,
 )
+from .runtime import SlaveRuntime
 from .slave import execute_task
 
 __all__ = [
+    "SlaveRuntime",
     "Backend",
     "SerialBackend",
     "MultiprocessingBackend",

@@ -1,7 +1,7 @@
 """Execution backends for one master–slave search round.
 
 A *backend* places up to ``P`` slave tasks, executes them, and returns the
-reports of the slaves that survived the round, sorted by slave id.  Three
+reports of the slaves that survived the round, sorted by slave id.  Two
 implementations:
 
 :class:`SerialBackend`
@@ -22,14 +22,35 @@ Both produce bit-identical reports for identical tasks (same seeds), which
 ``tests/test_backends.py`` asserts — the property that makes the simulated
 results transferable to real parallel hardware.
 
+Warm runtimes (DESIGN.md §5.4): with ``warm_runtime=True`` (the default)
+each slave owns one :class:`~repro.parallel.runtime.SlaveRuntime` for the
+life of the backend — built at ``start()`` (serial) or at worker spawn
+(multiprocessing) — and every task resets the cached arena in place instead
+of reconstructing kernels and tabu structures per round.  Trajectories are
+bit-identical either way (``tests/test_runtime.py``); the flag exists so
+benchmarks can A/B the cold path.
+
+Gather (multiprocessing): a single ``multiprocessing.connection.wait()``
+event loop with one round deadline replaces the old rank-ordered
+``recv(timeout)`` chain.  Reports are consumed in arrival order (the return
+value is still sorted), scheduled duplicates drain through the same select
+with no fixed grace sleep, and dead or silent workers are buried from the
+same loop without ever blocking a live one behind a slow rank.
+
 Fault tolerance (DESIGN.md §"Fault model"): both backends accept a
 :class:`~repro.parallel.faults.FaultPlan` that deterministically injects
 slave crashes, dropped/duplicated/delayed messages and stragglers; a round's
 return value then simply omits the reports the faults destroyed.  Task
 entries may be ``None`` — the master uses that to keep a crashed slave in
-exponential backoff.  The multiprocessing gather path is bounded by
-``round_timeout_s`` and dead workers are respawned instead of deadlocking
-the barrier.
+exponential backoff.
+
+Observability: after each round both backends expose wall-clock phase
+splits (``last_phase_seconds`` with keys ``scatter``/``compute``/``gather``),
+per-slave collection latencies (``last_gather_idle_s``: seconds from gather
+start until that slave's first accepted report) and the master's blocked
+time (``last_master_wait_s``), with cumulative tallies in ``phase_totals``.
+The master forwards them into :class:`~repro.master.result.RoundStats` and
+the farm trace; ``benchmarks/bench_round_overhead.py`` builds on them.
 """
 
 from __future__ import annotations
@@ -38,16 +59,21 @@ import multiprocessing as mp
 import os
 import time
 from collections import Counter
+from multiprocessing import connection as mp_connection
 from typing import Protocol, Sequence
 
 from ..core.instance import MKPInstance
 from ..core.tabu_search import TabuSearchConfig
-from .comm import CommTimeout, InProcComm, MessageRouter, PipeComm
+from .comm import InProcComm, MessageRouter, PipeComm
 from .faults import ChaosComm, FaultPlan
 from .message import RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
+from .runtime import SlaveRuntime
 from .slave import execute_task
 
 __all__ = ["Backend", "SerialBackend", "MultiprocessingBackend"]
+
+#: Phase keys every backend reports in ``last_phase_seconds``.
+PHASE_KEYS = ("scatter", "compute", "gather")
 
 
 class Backend(Protocol):
@@ -84,13 +110,25 @@ class SerialBackend:
     With a non-empty ``fault_plan`` the report path of every slave is
     wrapped in a :class:`~repro.parallel.faults.ChaosComm`; the no-fault
     construction is byte-for-byte the original pipeline.
+
+    With ``warm_runtime=True`` each slave id keeps one
+    :class:`~repro.parallel.runtime.SlaveRuntime` across rounds (built at
+    :meth:`start`); ``False`` reconstructs per task via
+    :func:`~repro.parallel.slave.execute_task`, the pre-warm behaviour.
     """
 
-    def __init__(self, n_slaves: int, *, fault_plan: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        n_slaves: int,
+        *,
+        fault_plan: FaultPlan | None = None,
+        warm_runtime: bool = True,
+    ) -> None:
         if n_slaves < 1:
             raise ValueError("n_slaves must be >= 1")
         self.n_slaves = int(n_slaves)
         self.fault_plan = fault_plan or FaultPlan.none()
+        self.warm_runtime = bool(warm_runtime)
         self.router = MessageRouter()
         self.master_comm = InProcComm(self.router, rank=n_slaves)
         self._slave_comms = [InProcComm(self.router, rank=k) for k in range(n_slaves)]
@@ -103,6 +141,7 @@ class SerialBackend:
             ]
         self._instance: MKPInstance | None = None
         self._config: TabuSearchConfig | None = None
+        self._runtimes: list[SlaveRuntime] = []
         #: per-round message sizes by slave id, for the farm's scatter/gather model
         self.last_task_nbytes: dict[int, int] = {}
         self.last_report_nbytes: dict[int, int] = {}
@@ -110,10 +149,32 @@ class SerialBackend:
         self.last_slowdowns: dict[int, float] = {}
         #: cumulative injected-fault tally (diagnostics for the chaos suite)
         self.fault_counters: Counter[str] = Counter()
+        #: wall-clock split of the last round over ``PHASE_KEYS``
+        self.last_phase_seconds: dict[str, float] = {}
+        #: seconds from gather start to each slave's first accepted report
+        self.last_gather_idle_s: dict[int, float] = {}
+        #: master wall time blocked waiting on slaves (0 for inline slaves)
+        self.last_master_wait_s: float = 0.0
+        #: cumulative phase wall time across rounds (plus ``master_wait``)
+        self.phase_totals: Counter[str] = Counter()
 
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
         self._instance = instance
         self._config = config
+        self._runtimes = (
+            [
+                SlaveRuntime(instance, config, slave_id=k)
+                for k in range(self.n_slaves)
+            ]
+            if self.warm_runtime
+            else []
+        )
+
+    def _execute(self, k: int, task: SlaveTask) -> SlaveReport:
+        if self._runtimes:
+            return self._runtimes[k].execute(task)
+        assert self._instance is not None and self._config is not None
+        return execute_task(self._instance, self._config, task, slave_id=k)
 
     def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
         if self._instance is None or self._config is None:
@@ -123,11 +184,14 @@ class SerialBackend:
         self.last_task_nbytes = {}
         self.last_report_nbytes = {}
         self.last_slowdowns = {}
+        self.last_gather_idle_s = {}
+        self.last_master_wait_s = 0.0
         # Reports the chaos layer delayed in an earlier round arrive now,
         # stale — the hardened master must discard them by seq id.
         for comm in self._report_comms:
             if isinstance(comm, ChaosComm):
                 comm.flush_delayed()
+        t_scatter = time.perf_counter()
         # Scatter phase: master -> slaves.
         for k, task in enumerate(tasks):
             if task is None:
@@ -137,6 +201,7 @@ class SerialBackend:
                 continue
             self.master_comm.send(task, dest=k, tag=TASK_TAG)
             self.last_task_nbytes[k] = self.master_comm.last_payload_nbytes
+        t_compute = time.perf_counter()
         # Compute + report phase (inline execution).
         for k in range(self.n_slaves):
             while self._slave_comms[k].probe(TASK_TAG):
@@ -144,15 +209,16 @@ class SerialBackend:
                 if plan.crashes(task.round_index, k):
                     # The slave dies mid-round: the task is consumed, no
                     # report is produced.  (A fresh "process" serves the
-                    # next round; in-process slaves are stateless anyway.)
+                    # next round; warm state is rebound per task anyway.)
                     self.fault_counters["crash"] += 1
                     continue
-                report = execute_task(self._instance, self._config, task, slave_id=k)
+                report = self._execute(k, task)
                 factor = plan.straggle_factor(task.round_index, k)
                 if factor != 1.0:
                     self.fault_counters["straggle"] += 1
                     self.last_slowdowns[k] = factor
                 self._report_comms[k].send(report, dest=self.n_slaves, tag=RESULT_TAG)
+        t_gather = time.perf_counter()
         # Gather phase: drain every report that actually arrived (including
         # duplicates and releases of previously delayed messages).
         reports: list[SlaveReport] = []
@@ -162,7 +228,17 @@ class SerialBackend:
                 self.last_report_nbytes.get(report.slave_id, 0)
                 + self.master_comm.last_payload_nbytes
             )
+            self.last_gather_idle_s.setdefault(
+                report.slave_id, time.perf_counter() - t_gather
+            )
             reports.append(report)
+        t_end = time.perf_counter()
+        self.last_phase_seconds = {
+            "scatter": t_compute - t_scatter,
+            "compute": t_gather - t_compute,
+            "gather": t_end - t_gather,
+        }
+        self.phase_totals.update(self.last_phase_seconds)
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
@@ -189,17 +265,24 @@ def _worker_main(
     config: TabuSearchConfig,
     slave_id: int,
     fault_plan: FaultPlan,
+    warm_runtime: bool = True,
 ) -> None:
     """Worker process entry point: serve tasks until the stop sentinel.
 
     The fault plan travels to the worker so crash/drop faults happen on the
     *worker* side of the pipe — the master only ever observes their
     symptoms (silence), exactly as with a real failing host.
+
+    With ``warm_runtime`` the search arena is built here, once, at spawn —
+    so the first round pays no setup either — and every task rebinds it.
     """
     comm = PipeComm(conn)
+    runtime = (
+        SlaveRuntime(instance, config, slave_id=slave_id) if warm_runtime else None
+    )
     try:
         while True:
-            tag, obj = conn.recv()
+            tag, _nbytes, obj = conn.recv()
             if tag == STOP_TAG:
                 return
             if tag != TASK_TAG:  # pragma: no cover - protocol guard
@@ -208,7 +291,10 @@ def _worker_main(
             if fault_plan.crashes(task.round_index, slave_id):
                 # Hard crash: no cleanup, no reply, nonzero exit code.
                 os._exit(17)
-            report = execute_task(instance, config, task, slave_id=slave_id)
+            if runtime is not None:
+                report = runtime.execute(task)
+            else:
+                report = execute_task(instance, config, task, slave_id=slave_id)
             factor = fault_plan.straggle_factor(task.round_index, slave_id)
             if factor > 1.0:
                 time.sleep(min(_STRAGGLE_SLEEP_S * (factor - 1.0), _MAX_STRAGGLE_SLEEP_S))
@@ -229,12 +315,16 @@ class MultiprocessingBackend:
     Workers are forked once per run and reused across rounds, so the
     problem data crosses the process boundary a single time — the same
     optimization the paper's master applies ("Read and send to slaves
-    problem data" once, outside the round loop).
+    problem data" once, outside the round loop) — and, with
+    ``warm_runtime`` (default), each worker also builds its search arena
+    once at spawn and rebinds it per task.
 
-    Hardened: the gather is bounded by ``round_timeout_s`` per slave; a
-    worker that times out, dies, or breaks its pipe is terminated and
-    respawned (``respawns`` counts them), and the round returns without its
-    report instead of deadlocking the Fig. 2 barrier.
+    Hardened: the gather is one ``connection.wait()`` event loop bounded by
+    a single ``round_timeout_s`` deadline for the whole round; reports fold
+    in as they arrive, so a slow or dead rank never delays a fast one.  A
+    worker that stays silent past the deadline or breaks its pipe is
+    terminated and respawned (``respawns`` counts them), and the round
+    returns without its report instead of deadlocking the Fig. 2 barrier.
     """
 
     def __init__(
@@ -244,14 +334,20 @@ class MultiprocessingBackend:
         mp_context: str = "fork",
         fault_plan: FaultPlan | None = None,
         round_timeout_s: float | None = 60.0,
+        warm_runtime: bool = True,
+        shutdown_timeout_s: float = 10.0,
     ) -> None:
         if n_slaves < 1:
             raise ValueError("n_slaves must be >= 1")
         if round_timeout_s is not None and round_timeout_s <= 0:
             raise ValueError("round_timeout_s must be positive (or None)")
+        if shutdown_timeout_s <= 0:
+            raise ValueError("shutdown_timeout_s must be positive")
         self.n_slaves = int(n_slaves)
         self.fault_plan = fault_plan or FaultPlan.none()
         self.round_timeout_s = round_timeout_s
+        self.warm_runtime = bool(warm_runtime)
+        self.shutdown_timeout_s = float(shutdown_timeout_s)
         self._ctx = mp.get_context(mp_context)
         self._procs: list[mp.Process | None] = []
         self._comms: list[PipeComm | None] = []
@@ -262,6 +358,17 @@ class MultiprocessingBackend:
         #: respawn count per slave id (the chaos suite asserts recovery)
         self.respawns: Counter[int] = Counter()
         self.fault_counters: Counter[str] = Counter()
+        #: wall-clock split of the last round; on this backend ``compute``
+        #: is the latency to the *first* report (the fastest slave) and is
+        #: contained in ``gather``, which runs to the last accepted report.
+        self.last_phase_seconds: dict[str, float] = {}
+        #: seconds from gather start to each slave's first accepted report
+        #: (silent slaves get the full gather wall — their cost to the round)
+        self.last_gather_idle_s: dict[int, float] = {}
+        #: master wall time blocked inside ``connection.wait``
+        self.last_master_wait_s: float = 0.0
+        #: cumulative phase wall time across rounds (plus ``master_wait``)
+        self.phase_totals: Counter[str] = Counter()
 
     # ------------------------------------------------------------------ #
     def _spawn(self, k: int) -> None:
@@ -269,7 +376,14 @@ class MultiprocessingBackend:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._instance, self._config, k, self.fault_plan),
+            args=(
+                child_conn,
+                self._instance,
+                self._config,
+                k,
+                self.fault_plan,
+                self.warm_runtime,
+            ),
             daemon=True,
             name=f"repro-slave-{k}",
         )
@@ -319,8 +433,12 @@ class MultiprocessingBackend:
         _validate_round(tasks, self.n_slaves)
         self.last_task_nbytes = {}
         self.last_report_nbytes = {}
+        self.last_gather_idle_s = {}
+        self.last_master_wait_s = 0.0
+        t_scatter = time.perf_counter()
         # Scatter: non-blocking from the master's perspective (pipes buffer).
         sent: list[int] = []
+        expected: dict[int, int] = {}
         for k, task in enumerate(tasks):
             if task is None:
                 continue
@@ -330,45 +448,110 @@ class MultiprocessingBackend:
                 comm.send(task, tag=TASK_TAG)
                 self.last_task_nbytes[k] = comm.bytes_sent - before
                 sent.append(k)
+                # The plan is shared with the worker, so the master knows
+                # when a duplicate copy of the report is scheduled and can
+                # fold its drain into the same select, no grace sleep.
+                expected[k] = (
+                    2 if self.fault_plan.duplicates_report(task.round_index, k) else 1
+                )
             except (BrokenPipeError, OSError):
                 # The worker died between liveness check and send; the
                 # round proceeds without it and the next round respawns.
                 self.fault_counters["send_failed"] += 1
                 self._bury(k)
-        # Gather: bounded wait per slave instead of the unbounded Fig. 2
-        # barrier; a silent slave is buried and the round goes on.
+        # Gather: one multiplexed event loop over every outstanding pipe,
+        # bounded by a single whole-round deadline.  Reports are consumed
+        # in arrival order; a slow rank never blocks a fast one.
+        t_gather = time.perf_counter()
+        deadline = (
+            None if self.round_timeout_s is None else t_gather + self.round_timeout_s
+        )
+        bytes_before = {
+            k: comm.bytes_received
+            for k in sent
+            if (comm := self._comms[k]) is not None
+        }
+        got: Counter[int] = Counter()
+        pending = {k for k in sent if self._comms[k] is not None}
         reports: list[SlaveReport] = []
-        for k in sent:
-            comm = self._comms[k]
-            if comm is None:  # pragma: no cover - buried during scatter
-                continue
-            try:
-                before = comm.bytes_received
-                report = comm.recv(tag=RESULT_TAG, timeout=self.round_timeout_s)
-                reports.append(report)
-                # Drain duplicates already in flight so they surface this
-                # round (idempotency is the master's job, delivery is ours).
-                # When the plan scheduled a duplicate for this slave the
-                # extra copy may still be crossing the pipe, so grant it a
-                # bounded grace window instead of a racy zero-wait poll.
-                task = tasks[k]
-                drain_wait = (
-                    1.0
-                    if task is not None
-                    and self.fault_plan.duplicates_report(task.round_index, k)
-                    else 0.0
-                )
-                while comm.poll(drain_wait):
-                    reports.append(comm.recv(tag=RESULT_TAG))
-                    drain_wait = 0.0
-                self.last_report_nbytes[k] = comm.bytes_received - before
-            except (CommTimeout, EOFError, OSError):
+        first_report_s: float | None = None
+        wait_s = 0.0
+        while pending:
+            live = {}
+            for k in pending:
+                comm = self._comms[k]
+                if comm is not None and not comm.closed:
+                    live[comm.connection] = k
+            if not live:
+                break
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0.0:
+                    break
+            t_wait = time.perf_counter()
+            ready = mp_connection.wait(list(live), timeout)
+            wait_s += time.perf_counter() - t_wait
+            if not ready:
+                break  # round deadline expired with slaves still silent
+            for raw in ready:
+                k = live[raw]
+                comm = self._comms[k]
+                if comm is None or comm.closed:  # pragma: no cover - raced bury
+                    pending.discard(k)
+                    continue
+                try:
+                    while True:
+                        report = comm.recv(tag=RESULT_TAG)
+                        now = time.perf_counter()
+                        if first_report_s is None:
+                            first_report_s = now - t_gather
+                        self.last_gather_idle_s.setdefault(k, now - t_gather)
+                        reports.append(report)
+                        got[k] += 1
+                        self.last_report_nbytes[k] = (
+                            comm.bytes_received - bytes_before[k]
+                        )
+                        if got[k] >= expected[k]:
+                            pending.discard(k)
+                            break
+                        if not comm.poll(0.0):
+                            break  # duplicate still in flight; select again
+                except (EOFError, OSError):
+                    # The worker died mid-round.  Reports it delivered
+                    # before dying still count; total silence is a loss.
+                    if got[k] == 0:
+                        self.fault_counters["gather_lost"] += 1
+                    self._bury(k)
+                    pending.discard(k)
+        # Deadline expired: bury only the slaves that produced nothing.  A
+        # slave whose scheduled duplicate never surfaced is still alive and
+        # keeps its accepted report (idempotency is the master's job).
+        t_end = time.perf_counter()
+        for k in pending:
+            if got[k] == 0:
                 self.fault_counters["gather_lost"] += 1
                 self._bury(k)
+                self.last_gather_idle_s.setdefault(k, t_end - t_gather)
+        self.last_master_wait_s = wait_s
+        self.last_phase_seconds = {
+            "scatter": t_gather - t_scatter,
+            "compute": first_report_s if first_report_s is not None else 0.0,
+            "gather": t_end - t_gather,
+        }
+        self.phase_totals.update(self.last_phase_seconds)
+        self.phase_totals["master_wait"] += wait_s
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
     def shutdown(self) -> None:
+        """Stop every worker, bounded by one shared deadline.
+
+        Signals *all* workers first, then joins each against the remaining
+        budget of a single ``shutdown_timeout_s`` window — P hung workers
+        cost the deadline once, not ``P × 10`` seconds of sequential joins.
+        Whoever is still alive afterwards is terminated.
+        """
         for comm in self._comms:
             if comm is None or comm.closed:
                 continue
@@ -376,13 +559,16 @@ class MultiprocessingBackend:
                 comm.send(None, tag=STOP_TAG)
             except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
                 pass
+        deadline = time.monotonic() + self.shutdown_timeout_s
         for proc in self._procs:
             if proc is None:
                 continue
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=5)
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [p for p in self._procs if p is not None and p.is_alive()]
+        for proc in stragglers:  # pragma: no cover - defensive
+            proc.terminate()
+        for proc in stragglers:  # pragma: no cover - defensive
+            proc.join(timeout=5)
         for comm in self._comms:
             if comm is not None:
                 comm.close()

@@ -65,7 +65,7 @@ class MessageRouter:
     """
 
     def __init__(self) -> None:
-        self._queues: dict[tuple[int, int], deque[Any]] = defaultdict(deque)
+        self._queues: dict[tuple[int, int], deque[tuple[Any, int]]] = defaultdict(deque)
         self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
         self.messages_by_pair: dict[tuple[int, int], int] = defaultdict(int)
         self.bytes_by_tag: dict[int, int] = defaultdict(int)
@@ -74,14 +74,20 @@ class MessageRouter:
     def push(self, src: int, dest: int, tag: int, obj: Any) -> int:
         """Enqueue and return the charged payload size in bytes."""
         nbytes = payload_nbytes(obj)
-        self._queues[(dest, tag)].append(obj)
+        self._queues[(dest, tag)].append((obj, nbytes))
         self.bytes_by_pair[(src, dest)] += nbytes
         self.messages_by_pair[(src, dest)] += 1
         self.bytes_by_tag[tag] += nbytes
         self.messages_by_tag[tag] += 1
         return nbytes
 
-    def pop(self, dest: int, tag: int) -> Any:
+    def pop(self, dest: int, tag: int) -> tuple[Any, int]:
+        """Dequeue one ``(obj, nbytes)`` pair.
+
+        The payload size measured at :meth:`push` rides along, so the
+        receive side never re-pickles the object just to re-derive a number
+        already known — a measurable cost in the round loop's hot path.
+        """
         queue = self._queues[(dest, tag)]
         if not queue:
             raise RuntimeError(
@@ -120,8 +126,7 @@ class InProcComm:
     def recv(self, source: int, tag: int = 0) -> Any:
         # ``source`` is advisory for in-process FIFOs (single mailbox per
         # (dest, tag)); kept for API parity with MPI.
-        obj = self.router.pop(self.rank, tag)
-        nbytes = payload_nbytes(obj)
+        obj, nbytes = self.router.pop(self.rank, tag)
         self.bytes_received += nbytes
         self.last_payload_nbytes = nbytes
         return obj
@@ -136,8 +141,10 @@ class PipeComm:
 
     Each master↔worker pair owns a private duplex pipe, so ``dest`` /
     ``source`` are fixed by construction and the arguments are accepted
-    only for API parity.  Messages are framed as ``(tag, obj)``; a recv
-    with a mismatched tag is a protocol error, loudly reported.
+    only for API parity.  Messages are framed as ``(tag, nbytes, obj)``,
+    where ``nbytes`` is the sender-measured payload size (so both ends book
+    the same byte charge with a single pickle); a recv with a mismatched
+    tag is a protocol error, loudly reported.
 
     Hardened surface (chaos-test requirements): ``recv`` takes an optional
     ``timeout`` in seconds and raises :class:`CommTimeout` instead of
@@ -156,14 +163,27 @@ class PipeComm:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def connection(self) -> Any:
+        """The underlying OS connection (for ``multiprocessing.connection.wait``).
+
+        The multiplexed gather selects over many endpoints at once; exposing
+        the raw handle read-only keeps the event loop out of this class
+        while the tagged-protocol framing stays behind :meth:`recv`.
+        """
+        return self._conn
+
     def _check_open(self) -> None:
         if self._closed:
             raise CommClosedError("operation on closed PipeComm endpoint")
 
     def send(self, obj: Any, dest: int = 0, tag: int = 0) -> None:
         self._check_open()
-        self.bytes_sent += payload_nbytes(obj)
-        self._conn.send((tag, obj))
+        nbytes = payload_nbytes(obj)
+        self.bytes_sent += nbytes
+        # The charged size rides in the frame so the receive side books the
+        # identical number without re-pickling the payload (hot-path cost).
+        self._conn.send((tag, nbytes, obj))
 
     def recv(self, source: int = 0, tag: int = 0, timeout: float | None = None) -> Any:
         """Receive one tagged message; bounded wait when ``timeout`` is set.
@@ -177,12 +197,12 @@ class PipeComm:
             raise CommTimeout(
                 f"no message within {timeout:.3f}s (tag {tag}); peer crashed or hung?"
             )
-        got_tag, obj = self._conn.recv()
+        got_tag, nbytes, obj = self._conn.recv()
         if got_tag != tag:
             raise RuntimeError(
                 f"protocol error: expected message tag {tag}, received {got_tag}"
             )
-        self.bytes_received += payload_nbytes(obj)
+        self.bytes_received += nbytes
         return obj
 
     def poll(self, timeout: float = 0.0) -> bool:

@@ -1,0 +1,104 @@
+"""Per-slave warm search runtime: build the arena once, reset it per task.
+
+Before this module every round rebuilt a slave's entire search runtime from
+scratch — ``SearchState.empty`` → a fresh :class:`~repro.core.kernels.EvalKernel`
+(a dozen preallocated buffers plus the bitset scan workspace), a fresh
+:class:`~repro.core.tabu_list.TabuList`, history and elite arrays — only to
+throw it all away a few thousand evaluations later.  With the short
+per-round budgets the Fig. 2 master hands out, that setup cost rivals the
+search itself (the "setup-dominated regime" tracked by
+``benchmarks/bench_round_overhead.py``).
+
+:class:`SlaveRuntime` owns one :class:`~repro.core.tabu_search.TabuSearch`
+thread per slave for the life of the process.  Each task *rebinds* the
+thread in place (:meth:`~repro.core.tabu_search.TabuSearch.rebind`): the RNG
+is re-seeded, the tabu clock rewound, history/elite/counters zeroed and the
+kernel reloaded — all without reallocating a single arena buffer — so the
+resulting trajectory is bit-identical to a cold construction (pinned by
+``tests/test_runtime.py`` and, transitively, by every golden-trajectory
+test, since :class:`~repro.parallel.backends.SerialBackend` runs warm by
+default).
+
+Reset contract (DESIGN.md §5.4) — what may persist across tasks:
+
+* the instance-bound immutables: the :class:`~repro.core.instance.MKPInstance`
+  itself, its shared :class:`~repro.core.bitset.HotTables`, and the
+  structural :class:`~repro.core.tabu_search.TabuSearchConfig`;
+* preallocated *storage* (kernel buffers, tabu expiry arrays, history
+  counts, scratch vectors) — reused, never trusted for content.
+
+Everything with per-run *content* must be cleared: RNG state, the 0/1
+vector and its load/slack/value mirrors, fitting-pool and ``i*`` caches,
+exclusion masks, tabu clock and expiries, history counts, elite members,
+every evaluation counter, and the incumbent snapshot.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import MKPInstance
+from ..core.strategy import Strategy
+from ..core.tabu_search import TabuSearch, TabuSearchConfig
+from .message import SlaveReport, SlaveTask
+
+__all__ = ["SlaveRuntime"]
+
+#: Placeholder strategy used to build the arena before the first task
+#: arrives (its values never influence a run: every task rebinds first).
+_BOOT_STRATEGY = Strategy(lt_length=1, nb_drop=1, nb_local=1)
+
+
+class SlaveRuntime:
+    """One slave's reusable search runtime (arena + rebind-per-task loop).
+
+    Constructed once per (process, slave) — eagerly, so workers pay the
+    arena allocation at spawn rather than inside the first round — and then
+    driven by :meth:`execute`, which is the warm equivalent of
+    :func:`repro.parallel.slave.execute_task`.
+    """
+
+    def __init__(
+        self,
+        instance: MKPInstance,
+        config: TabuSearchConfig,
+        slave_id: int,
+    ) -> None:
+        self.instance = instance
+        self.config = config
+        self.slave_id = int(slave_id)
+        #: tasks served since spawn (telemetry; 0 = arena never reused yet)
+        self.tasks_served = 0
+        self._thread = TabuSearch(instance, _BOOT_STRATEGY, config=config)
+
+    @property
+    def thread(self) -> TabuSearch:
+        """The resident search thread (tests inspect its reset state)."""
+        return self._thread
+
+    def arena_nbytes(self) -> int:
+        """Approximate resident footprint of the cached per-instance tables.
+
+        Dominated by the shared :class:`~repro.core.bitset.HotTables`; the
+        per-thread buffers add a few ``n``- and ``m``-length arrays on top.
+        """
+        return self.instance.hot.nbytes
+
+    def execute(self, task: SlaveTask) -> SlaveReport:
+        """Run one tabu-search round on the warm arena and package the report.
+
+        Bit-identical to a cold :func:`~repro.parallel.slave.execute_task`
+        for the same task: ``rebind`` re-seeds the RNG from ``task.seed``
+        and clears every per-run memory before the run starts.
+        """
+        thread = self._thread.rebind(task.strategy, task.seed)
+        result = thread.run(x_init=task.x_init, budget=task.budget)
+        self.tasks_served += 1
+        return SlaveReport(
+            slave_id=self.slave_id,
+            best=result.best,
+            elite=result.elite,
+            initial_value=result.initial_value,
+            evaluations=result.evaluations,
+            moves=result.moves,
+            round_index=task.round_index,
+            seq_id=task.seq_id,
+        )

@@ -1,17 +1,25 @@
 """The slave-side work function: one tabu-search round.
 
 Exactly one place turns a :class:`~repro.parallel.message.SlaveTask` into a
-:class:`~repro.parallel.message.SlaveReport`, shared by every backend, so
-serial, simulated and multiprocessing executions of the same task are
-bit-identical (given the same seed) — which the backend-equivalence
-integration test asserts.
+:class:`~repro.parallel.message.SlaveReport` — :meth:`SlaveRuntime.execute`
+— shared by every backend, so serial, simulated and multiprocessing
+executions of the same task are bit-identical (given the same seed), which
+the backend-equivalence integration test asserts.
+
+:func:`execute_task` is the one-shot *cold* entry point: it builds a fresh
+:class:`~repro.parallel.runtime.SlaveRuntime` per call, which is what every
+caller did implicitly before the warm-runtime layer existed.  Persistent
+workers and the serial backend instead keep one runtime per slave and reuse
+its arena across rounds (see :mod:`repro.parallel.runtime`); the two paths
+produce identical reports (pinned by ``tests/test_runtime.py``).
 """
 
 from __future__ import annotations
 
 from ..core.instance import MKPInstance
-from ..core.tabu_search import TabuSearch, TabuSearchConfig
+from ..core.tabu_search import TabuSearchConfig
 from .message import SlaveReport, SlaveTask
+from .runtime import SlaveRuntime
 
 __all__ = ["execute_task"]
 
@@ -22,21 +30,5 @@ def execute_task(
     task: SlaveTask,
     slave_id: int,
 ) -> SlaveReport:
-    """Run one tabu-search round and package the report."""
-    thread = TabuSearch(
-        instance,
-        task.strategy,
-        config=config,
-        rng=task.seed,
-    )
-    result = thread.run(x_init=task.x_init, budget=task.budget)
-    return SlaveReport(
-        slave_id=slave_id,
-        best=result.best,
-        elite=result.elite,
-        initial_value=result.initial_value,
-        evaluations=result.evaluations,
-        moves=result.moves,
-        round_index=task.round_index,
-        seq_id=task.seq_id,
-    )
+    """Run one tabu-search round on a cold (single-use) runtime."""
+    return SlaveRuntime(instance, config, slave_id=slave_id).execute(task)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -40,3 +42,15 @@ def medium_instance() -> MKPInstance:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def mp_context() -> str:
+    """Multiprocessing start method for process-backed tests.
+
+    Defaults to ``fork`` (fast); the CI spawn leg exports
+    ``REPRO_MP_CONTEXT=spawn`` to run the same suites under the start
+    method macOS/Windows use, where workers re-import instead of
+    inheriting memory.
+    """
+    return os.environ.get("REPRO_MP_CONTEXT", "fork")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core import Budget, Strategy, TabuSearchConfig, random_solution
@@ -69,10 +71,23 @@ class TestSerialBackend:
             backend.start(small_instance, TabuSearchConfig(nb_div=100))
             backend.run_round(make_tasks(small_instance, 1))
 
+    def test_phase_wall_counters_recorded(self, small_instance):
+        backend = SerialBackend(2)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        backend.run_round(make_tasks(small_instance, 2))
+        assert set(backend.last_phase_seconds) == {"scatter", "compute", "gather"}
+        assert all(v >= 0.0 for v in backend.last_phase_seconds.values())
+        # Inline slaves do all the work in the compute phase.
+        assert backend.last_phase_seconds["compute"] > 0.0
+        assert backend.last_master_wait_s == 0.0
+        first_compute = backend.phase_totals["compute"]
+        backend.run_round(make_tasks(small_instance, 2))
+        assert backend.phase_totals["compute"] > first_compute
+
 
 @pytest.mark.slow
 class TestMultiprocessingBackend:
-    def test_round_matches_serial(self, small_instance):
+    def test_round_matches_serial(self, small_instance, mp_context):
         """Same tasks + same seeds => bit-identical reports across backends
         (the property that transfers simulated results to real hardware)."""
         config = TabuSearchConfig(nb_div=100)
@@ -82,7 +97,7 @@ class TestMultiprocessingBackend:
         serial.start(small_instance, config)
         serial_reports = serial.run_round(tasks)
 
-        with MultiprocessingBackend(2) as mp_backend:
+        with MultiprocessingBackend(2, mp_context=mp_context) as mp_backend:
             mp_backend.start(small_instance, config)
             mp_reports = mp_backend.run_round(tasks)
 
@@ -91,8 +106,8 @@ class TestMultiprocessingBackend:
             assert a.evaluations == b.evaluations
             assert a.initial_value == b.initial_value
 
-    def test_multiple_rounds_reuse_workers(self, small_instance):
-        with MultiprocessingBackend(2) as backend:
+    def test_multiple_rounds_reuse_workers(self, small_instance, mp_context):
+        with MultiprocessingBackend(2, mp_context=mp_context) as backend:
             backend.start(small_instance, TabuSearchConfig(nb_div=100))
             r1 = backend.run_round(make_tasks(small_instance, 2, evals=800))
             r2 = backend.run_round(make_tasks(small_instance, 2, evals=800))
@@ -115,3 +130,32 @@ class TestMultiprocessingBackend:
         backend.run_round(make_tasks(small_instance, 1, evals=500))
         backend.shutdown()
         backend.shutdown()  # second call is a no-op
+
+    def test_phase_and_idle_counters(self, small_instance, mp_context):
+        with MultiprocessingBackend(2, mp_context=mp_context) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            backend.run_round(make_tasks(small_instance, 2, evals=500))
+            assert set(backend.last_phase_seconds) == {"scatter", "compute", "gather"}
+            # Every reporting slave gets a collection latency, and the
+            # master's blocked time is bounded by the gather wall.
+            assert sorted(backend.last_gather_idle_s) == [0, 1]
+            gather = backend.last_phase_seconds["gather"]
+            assert all(0.0 <= v <= gather for v in backend.last_gather_idle_s.values())
+            assert 0.0 <= backend.last_master_wait_s <= gather + 1e-6
+            assert backend.phase_totals["gather"] >= gather
+
+    def test_healthy_shutdown_is_prompt(self, small_instance, mp_context):
+        backend = MultiprocessingBackend(
+            4, mp_context=mp_context, shutdown_timeout_s=10.0
+        )
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        backend.run_round(make_tasks(small_instance, 4, evals=300))
+        t0 = time.perf_counter()
+        backend.shutdown()
+        # Shared deadline: 4 healthy workers stop in well under one
+        # per-worker timeout, let alone 4 x 10 s of sequential joins.
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_shutdown_timeout_validated(self):
+        with pytest.raises(ValueError, match="shutdown_timeout_s"):
+            MultiprocessingBackend(1, shutdown_timeout_s=0.0)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 
 import pytest
 
@@ -316,6 +317,51 @@ class TestMultiprocessingChaos:
             reports = backend.run_round(make_tasks(small_instance, 2, evals=500))
             ids = [r.slave_id for r in reports]
             assert ids.count(0) == 2 and ids.count(1) == 1
+
+    def test_duplicate_report_adds_no_grace_sleep(self, small_instance):
+        """Regression: the old gather granted a duplicated report a fixed
+        1.0 s poll window; the multiplexed gather folds the drain into the
+        same select, so the round ends as soon as all copies are in."""
+        plan = FaultPlan(events=(FaultEvent(0, 0, FaultKind.DUPLICATE_REPORT),))
+        with MultiprocessingBackend(2, fault_plan=plan, round_timeout_s=30.0) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            backend.run_round(make_tasks(small_instance, 2, evals=300))  # warm-up
+            t0 = time.perf_counter()
+            reports = backend.run_round(
+                make_tasks(small_instance, 2, evals=300, round_index=0)
+            )
+            wall = time.perf_counter() - t0
+            assert len(reports) == 3  # both slaves + the duplicate copy
+            assert wall < 1.0, f"duplicate drain still costs a grace sleep ({wall:.2f}s)"
+
+    def test_straggler_does_not_delay_peers(self, small_instance, mp_context):
+        """A straggling slave inflates only its own collection latency.
+
+        Factor 15 makes worker 0 sleep 0.7 s before reporting; with the
+        multiplexed gather slaves 1..P-1 are collected the moment they
+        report, so their gather-idle stays far below the straggler's —
+        gather cost is bounded by the single slowest slave, not the
+        rank-order sum of timeouts.
+        """
+        plan = FaultPlan(events=(FaultEvent(0, 0, FaultKind.STRAGGLE, factor=15.0),))
+        with MultiprocessingBackend(
+            3, mp_context=mp_context, fault_plan=plan, round_timeout_s=30.0
+        ) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            # Warm-up on a fault-free round: under the spawn context the
+            # first task also pays interpreter startup, which would drown
+            # the latencies this test measures.
+            backend.run_round(make_tasks(small_instance, 3, evals=300, round_index=1))
+            reports = backend.run_round(make_tasks(small_instance, 3, evals=500))
+            assert [r.slave_id for r in reports] == [0, 1, 2]
+            idle = backend.last_gather_idle_s
+            assert sorted(idle) == [0, 1, 2]
+            # The injected sleep is min(0.05 * (15 - 1), 1.0) = 0.7 s.
+            assert idle[0] >= 0.6
+            assert idle[1] < 0.5 and idle[2] < 0.5
+            # The whole gather is bounded by the slowest slave, not by a
+            # sum over ranks.
+            assert backend.last_phase_seconds["gather"] < 0.7 + 2.0
 
 
 class TestAsyncDegraded:
