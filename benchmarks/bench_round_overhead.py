@@ -42,6 +42,7 @@ import pytest
 
 from repro.core import Budget, Strategy, TabuSearchConfig, random_solution
 from repro.instances import gk_instance
+from repro.obs import RunRecorder
 from repro.parallel import (
     CommTimeout,
     FaultEvent,
@@ -306,6 +307,49 @@ def measure_straggler_attribution(factor: float = 15.0) -> dict:
     }
 
 
+def measure_recorder_overhead(n_rounds: int, evals_per_round: int) -> dict:
+    """Disabled-recorder cost per round vs the measured round wall time.
+
+    The master issues a bounded number of recorder calls per round
+    (round_start, round_telemetry, faults, sgp, isp, round_end — at most
+    six); the disabled short-circuit's per-call cost times that count,
+    relative to one measured round, bounds what the observability layer
+    charges a run nobody asked to record.  Per-call timing (rather than an
+    A/B of two full runs) keeps the figure robust to host-load noise.
+    """
+    recorder = RunRecorder.disabled()
+    calls = 200_000
+    t0 = time.perf_counter()
+    for i in range(calls):
+        recorder.emit("round_end", round_index=i)
+    per_call_s = (time.perf_counter() - t0) / calls
+    assert recorder.events == []
+
+    instance = gk_instance(GK_NUMBER)
+    all_tasks = [
+        make_tasks(instance, r, evals_per_round) for r in range(n_rounds + 1)
+    ]
+    backend = SerialBackend(N_SLAVES)
+    backend.start(instance, TabuSearchConfig(nb_div=10_000))
+    try:
+        backend.run_round(all_tasks[0])  # warm-up
+        t0 = time.perf_counter()
+        for tasks in all_tasks[1:]:
+            backend.run_round(tasks)
+        round_wall_s = (time.perf_counter() - t0) / n_rounds
+    finally:
+        backend.shutdown()
+
+    events_per_round = 6
+    overhead = per_call_s * events_per_round / round_wall_s
+    return {
+        "disabled_emit_ns": round(per_call_s * 1e9, 1),
+        "events_per_round": events_per_round,
+        "round_wall_ms": round(round_wall_s * 1e3, 3),
+        "overhead_fraction": overhead,
+    }
+
+
 def measure(*, smoke: bool = False) -> dict:
     n_rounds = 25 if smoke else 60
     repeats = 2 if smoke else 4
@@ -318,6 +362,7 @@ def measure(*, smoke: bool = False) -> dict:
         "multiprocessing": measure_multiprocessing(n_rounds, evals, repeats),
         "dead_rank_gather": measure_dead_rank_gather(),
         "straggler": measure_straggler_attribution(),
+        "recorder": measure_recorder_overhead(n_rounds, evals),
         "python": platform.python_version(),
     }
 
@@ -347,6 +392,10 @@ def render(data: dict) -> str:
             f"gather bounded by slowest: {st['gather_bounded_by_slowest']}",
             "incumbents bit-identical in both A/Bs: "
             f"{s['bit_identical'] and m['bit_identical']}",
+            f"disabled recorder: {data['recorder']['disabled_emit_ns']:.0f}ns/emit "
+            f"x {data['recorder']['events_per_round']} events/round = "
+            f"{data['recorder']['overhead_fraction'] * 100:.4f}% of a "
+            f"{data['recorder']['round_wall_ms']:.1f}ms round (gate: < 1%)",
         ]
     )
 
@@ -359,6 +408,10 @@ def check(data: dict, *, smoke: bool) -> None:
     floor = 1.15 if smoke else 1.3  # smoke runs on noisy CI hosts
     assert data["serial"]["speedup"] >= floor, (
         f"warm-runtime speedup {data['serial']['speedup']} below {floor}"
+    )
+    overhead = data["recorder"]["overhead_fraction"]
+    assert overhead < 0.01, (
+        f"disabled recorder costs {overhead * 100:.3f}% of a round (gate: 1%)"
     )
 
 

@@ -2,7 +2,13 @@
 
 from .convergence import anytime_curve, normalized_auc, time_to_value, value_at
 from .gantt import render_gantt
-from .report import REPORT_ORDER, ReportSection, assemble_report
+from .report import (
+    REPORT_ORDER,
+    ReportSection,
+    assemble_report,
+    render_run_summary,
+    summarize_result,
+)
 from .serialize import load_result, result_from_dict, result_to_dict, save_result
 from .stats import (
     LoadBalance,
@@ -40,6 +46,8 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "assemble_report",
+    "summarize_result",
+    "render_run_summary",
     "ReportSection",
     "REPORT_ORDER",
 ]

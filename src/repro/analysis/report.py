@@ -4,14 +4,29 @@ Every bench writes its paper-style table to ``benchmarks/results/<id>.txt``
 (via ``benchmarks/common.publish``).  :func:`assemble_report` stitches those
 files into a single markdown document ordered by the DESIGN.md experiment
 index — the mechanical half of EXPERIMENTS.md.
+
+:func:`summarize_result` / :func:`render_run_summary` are the saved-record
+side of ``python -m repro trace``: they aggregate one persisted
+:class:`~repro.master.result.ParallelRunResult` (phase totals, idle ratios,
+fault tallies) without re-searching — the same headline numbers
+:func:`repro.obs.summarize_stream` extracts from a JSONL event stream.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ReportSection", "REPORT_ORDER", "assemble_report"]
+from ..master.result import ParallelRunResult
+
+__all__ = [
+    "ReportSection",
+    "REPORT_ORDER",
+    "assemble_report",
+    "summarize_result",
+    "render_run_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -68,4 +83,93 @@ def assemble_report(
         else:
             lines.append(missing_note)
         lines.append("")
+    return "\n".join(lines)
+
+
+def summarize_result(result: ParallelRunResult) -> dict:
+    """Aggregate one run record: phase totals, idle ratios, fault tallies.
+
+    Wall-clock phase totals come from the per-round measured splits
+    (``RoundStats.phase_wall_seconds``); the trace's ``wall_phase_totals``
+    adds the master's blocked-wait seconds when a trace was kept.  The
+    virtual-time barrier idle ratio (the A8 metric) is reported when the
+    run carried a simulated-farm trace.
+    """
+    phase_totals: dict[str, float] = defaultdict(float)
+    gather_idle: dict[int, float] = defaultdict(float)
+    for stats in result.rounds:
+        for phase, seconds in stats.phase_wall_seconds.items():
+            phase_totals[phase] += seconds
+        for slave, seconds in stats.gather_idle_s.items():
+            gather_idle[slave] += seconds
+    if result.trace is not None:
+        master_wait = result.trace.wall_phase_totals().get("master_wait", 0.0)
+        if master_wait:
+            phase_totals["master_wait"] += master_wait
+    gather_total = phase_totals.get("gather", 0.0)
+    idle_ratio = 0.0
+    if gather_total > 0.0 and gather_idle:
+        idle_ratio = min(
+            1.0, sum(gather_idle.values()) / (gather_total * len(gather_idle))
+        )
+    return {
+        "variant": result.variant,
+        "instance": "",
+        "n_slaves": result.n_slaves,
+        "n_rounds": result.n_rounds,
+        "best_value": result.best.value,
+        "total_evaluations": result.total_evaluations,
+        "wall_seconds": result.wall_seconds,
+        "virtual_seconds": result.virtual_seconds,
+        "phase_totals": dict(phase_totals),
+        "gather_idle_s": dict(sorted(gather_idle.items())),
+        "gather_idle_ratio": idle_ratio,
+        "barrier_idle_ratio": (
+            result.trace.idle_ratio() if result.trace is not None else None
+        ),
+        "bytes": {"total": result.bytes_sent},
+        "fault_tallies": dict(result.fault_summary),
+        "degraded_rounds": result.degraded_rounds,
+    }
+
+
+def render_run_summary(summary: dict) -> str:
+    """Render a :func:`summarize_result` / ``summarize_stream`` dict as text."""
+    lines = [
+        f"variant:      {summary.get('variant', '?')}"
+        + (f"  ({summary['instance']})" if summary.get("instance") else ""),
+        f"slaves:       {summary.get('n_slaves', '?')}",
+        f"rounds:       {summary.get('n_rounds', '?')}",
+    ]
+    if summary.get("best_value") is not None:
+        lines.append(f"best value:   {summary['best_value']:,.0f}")
+    if summary.get("total_evaluations") is not None:
+        lines.append(f"evaluations:  {summary['total_evaluations']:,}")
+    if summary.get("wall_seconds") is not None:
+        lines.append(f"wall time:    {summary['wall_seconds']:.3f}s")
+    if summary.get("virtual_seconds"):
+        lines.append(f"virtual time: {summary['virtual_seconds']:.3f}s")
+    phase_totals = summary.get("phase_totals") or {}
+    if phase_totals:
+        lines.append("measured wall phases:")
+        for phase in ("scatter", "compute", "gather", "master_wait"):
+            if phase in phase_totals:
+                lines.append(f"  {phase:<12} {phase_totals[phase]:.6f}s")
+        for phase in sorted(set(phase_totals) - {"scatter", "compute", "gather", "master_wait"}):
+            lines.append(f"  {phase:<12} {phase_totals[phase]:.6f}s")
+        lines.append(f"gather idle ratio: {summary.get('gather_idle_ratio', 0.0):.3f}")
+    else:
+        lines.append("measured wall phases: (none recorded)")
+    if summary.get("barrier_idle_ratio") is not None:
+        lines.append(f"barrier idle ratio (virtual, A8): {summary['barrier_idle_ratio']:.3f}")
+    byte_ledger = summary.get("bytes") or {}
+    if byte_ledger:
+        rendered = ", ".join(f"{k}={v:,}" for k, v in sorted(byte_ledger.items()))
+        lines.append(f"bytes:        {rendered}")
+    faults = summary.get("fault_tallies") or {}
+    if faults:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+        lines.append(f"faults:       {rendered}")
+    else:
+        lines.append("faults:       none")
     return "\n".join(lines)

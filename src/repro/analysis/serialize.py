@@ -5,6 +5,21 @@ every experiment in the benchmark harness; persisting it lets tables be
 re-rendered and runs be compared without re-searching.  The format is plain
 JSON (no pickle): solutions are stored as packed item-index lists, traces as
 event tuples.
+
+Format history
+--------------
+* **v1** — original format.  Dropped ``RoundStats.phase_wall_seconds``,
+  ``RoundStats.gather_idle_s`` and ``FarmTrace.wall_phases`` entirely, and
+  stored per-slave virtual seconds as an arrival-ordered list — exactly the
+  measured phase/idle accounting the A5/A8 experiments rest on.
+* **v2** (current) — lossless: every field the system measures survives
+  ``save → load → save`` byte-identically.  Per-slave maps are stored with
+  string keys (JSON objects) and converted back to ``int`` slave ids on
+  load; the trace is an object carrying both the virtual-time events and
+  the measured ``wall_phases``.
+
+v1 records still load (legacy list-form traces and arrival-ordered slave
+seconds are adapted); writing always emits v2.
 """
 
 from __future__ import annotations
@@ -20,7 +35,10 @@ from ..master.result import ParallelRunResult, RoundStats
 
 __all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`result_from_dict` accepts.
+READABLE_VERSIONS = (1, 2)
 
 
 def _solution_to_dict(solution: Solution, n_items: int) -> dict:
@@ -37,36 +55,103 @@ def _solution_from_dict(data: dict) -> Solution:
     return Solution(x, float(data["value"]))
 
 
+def _trace_to_dict(trace: FarmTrace) -> dict:
+    return {
+        "events": [
+            [e.proc, e.kind.value, e.t_start, e.t_end, e.label] for e in trace.events
+        ],
+        "wall_phases": [
+            {
+                "round_index": rec["round_index"],
+                "phase_seconds": dict(rec["phase_seconds"]),
+                "gather_idle_s": {str(k): v for k, v in rec["gather_idle_s"].items()},
+                "master_wait_s": rec["master_wait_s"],
+            }
+            for rec in trace.wall_phases
+        ],
+    }
+
+
+def _trace_from_dict(data: dict | list) -> FarmTrace:
+    trace = FarmTrace()
+    # v1 stored a bare event list; v2 an object with events + wall_phases.
+    events = data["events"] if isinstance(data, dict) else data
+    for proc, kind, t0, t1, label in events:
+        trace.record(int(proc), EventKind(kind), float(t0), float(t1), label)
+    if isinstance(data, dict):
+        for rec in data.get("wall_phases", []):
+            trace.record_wall_phases(
+                int(rec["round_index"]),
+                {k: float(v) for k, v in rec["phase_seconds"].items()},
+                {int(k): float(v) for k, v in rec["gather_idle_s"].items()},
+                float(rec["master_wait_s"]),
+            )
+    return trace
+
+
+def _round_to_dict(s: RoundStats) -> dict:
+    return {
+        "round_index": s.round_index,
+        "best_value": s.best_value,
+        "round_virtual_seconds": s.round_virtual_seconds,
+        "slave_virtual_seconds": {str(k): v for k, v in s.slave_virtual_seconds.items()},
+        "communication_seconds": s.communication_seconds,
+        "evaluations": s.evaluations,
+        "improved_slaves": s.improved_slaves,
+        "isp_rules": dict(s.isp_rules),
+        "sgp_actions": dict(s.sgp_actions),
+        "failed_slaves": s.failed_slaves,
+        "backoff_slaves": s.backoff_slaves,
+        "duplicate_reports": s.duplicate_reports,
+        "stale_reports": s.stale_reports,
+        "phase_wall_seconds": dict(s.phase_wall_seconds),
+        "gather_idle_s": {str(k): v for k, v in s.gather_idle_s.items()},
+    }
+
+
+def _slave_seconds_from(data: object) -> dict[int, float]:
+    if isinstance(data, dict):
+        return {int(k): float(v) for k, v in data.items()}
+    # v1 stored an arrival-ordered list with no slave ids; index keys are
+    # the best available reconstruction (exact for healthy rounds).
+    return {i: float(v) for i, v in enumerate(data)}  # type: ignore[arg-type]
+
+
+def _round_from_dict(s: dict) -> RoundStats:
+    return RoundStats(
+        round_index=int(s["round_index"]),
+        best_value=float(s["best_value"]),
+        round_virtual_seconds=float(s["round_virtual_seconds"]),
+        slave_virtual_seconds=_slave_seconds_from(s["slave_virtual_seconds"]),
+        communication_seconds=float(s["communication_seconds"]),
+        evaluations=int(s["evaluations"]),
+        improved_slaves=int(s["improved_slaves"]),
+        isp_rules=dict(s.get("isp_rules", {})),
+        sgp_actions=dict(s.get("sgp_actions", {})),
+        failed_slaves=int(s.get("failed_slaves", 0)),
+        backoff_slaves=int(s.get("backoff_slaves", 0)),
+        duplicate_reports=int(s.get("duplicate_reports", 0)),
+        stale_reports=int(s.get("stale_reports", 0)),
+        phase_wall_seconds={
+            k: float(v) for k, v in s.get("phase_wall_seconds", {}).items()
+        },
+        gather_idle_s={int(k): float(v) for k, v in s.get("gather_idle_s", {}).items()},
+    )
+
+
 def result_to_dict(result: ParallelRunResult) -> dict:
-    """Convert a run result to a JSON-serializable dict."""
-    trace_events = None
-    if result.trace is not None:
-        trace_events = [
-            [e.proc, e.kind.value, e.t_start, e.t_end, e.label]
-            for e in result.trace.events
-        ]
+    """Convert a run result to a JSON-serializable dict (always v2).
+
+    The dict is JSON-ready as returned (per-slave maps use string keys), so
+    ``result_to_dict(load_result(p))`` is byte-identical to the dict that
+    was saved at ``p`` — persistence is a fixed point, nothing measured is
+    lost.
+    """
     return {
         "format_version": FORMAT_VERSION,
         "variant": result.variant,
         "best": _solution_to_dict(result.best, result.best.n_items),
-        "rounds": [
-            {
-                "round_index": s.round_index,
-                "best_value": s.best_value,
-                "round_virtual_seconds": s.round_virtual_seconds,
-                "slave_virtual_seconds": list(s.slave_virtual_seconds),
-                "communication_seconds": s.communication_seconds,
-                "evaluations": s.evaluations,
-                "improved_slaves": s.improved_slaves,
-                "isp_rules": dict(s.isp_rules),
-                "sgp_actions": dict(s.sgp_actions),
-                "failed_slaves": s.failed_slaves,
-                "backoff_slaves": s.backoff_slaves,
-                "duplicate_reports": s.duplicate_reports,
-                "stale_reports": s.stale_reports,
-            }
-            for s in result.rounds
-        ],
+        "rounds": [_round_to_dict(s) for s in result.rounds],
         "total_evaluations": result.total_evaluations,
         "virtual_seconds": result.virtual_seconds,
         "wall_seconds": result.wall_seconds,
@@ -74,45 +159,25 @@ def result_to_dict(result: ParallelRunResult) -> dict:
         "bytes_sent": result.bytes_sent,
         "fault_summary": dict(result.fault_summary),
         "value_history": list(result.value_history),
-        "trace": trace_events,
+        "trace": None if result.trace is None else _trace_to_dict(result.trace),
     }
 
 
 def result_from_dict(data: dict) -> ParallelRunResult:
-    """Rebuild a run result from :func:`result_to_dict` output."""
+    """Rebuild a run result from :func:`result_to_dict` output (v1 or v2)."""
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ValueError(
             f"unsupported result format version {version!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {READABLE_VERSIONS})"
         )
     trace = None
     if data.get("trace") is not None:
-        trace = FarmTrace()
-        for proc, kind, t0, t1, label in data["trace"]:
-            trace.record(int(proc), EventKind(kind), float(t0), float(t1), label)
-    rounds = [
-        RoundStats(
-            round_index=int(s["round_index"]),
-            best_value=float(s["best_value"]),
-            round_virtual_seconds=float(s["round_virtual_seconds"]),
-            slave_virtual_seconds=[float(v) for v in s["slave_virtual_seconds"]],
-            communication_seconds=float(s["communication_seconds"]),
-            evaluations=int(s["evaluations"]),
-            improved_slaves=int(s["improved_slaves"]),
-            isp_rules=dict(s.get("isp_rules", {})),
-            sgp_actions=dict(s.get("sgp_actions", {})),
-            failed_slaves=int(s.get("failed_slaves", 0)),
-            backoff_slaves=int(s.get("backoff_slaves", 0)),
-            duplicate_reports=int(s.get("duplicate_reports", 0)),
-            stale_reports=int(s.get("stale_reports", 0)),
-        )
-        for s in data["rounds"]
-    ]
+        trace = _trace_from_dict(data["trace"])
     return ParallelRunResult(
         variant=str(data["variant"]),
         best=_solution_from_dict(data["best"]),
-        rounds=rounds,
+        rounds=[_round_from_dict(s) for s in data["rounds"]],
         total_evaluations=int(data["total_evaluations"]),
         virtual_seconds=float(data["virtual_seconds"]),
         wall_seconds=float(data["wall_seconds"]),

@@ -8,6 +8,8 @@ Commands
 ``generate``  write a pseudo-random instance to an OR-Library file.
 ``suite``     list the registered benchmark instances.
 ``info``      show instance statistics (size, tightness, LP bound, greedy).
+``trace``     summarize a recorded run — a saved result JSON or a JSONL
+              event stream from ``solve --record`` — without re-searching.
 
 Examples
 --------
@@ -15,6 +17,8 @@ Examples
 
     python -m repro solve GK07 --variant cts2 --slaves 8 --seconds 1.0
     python -m repro solve my_problem.txt --variant seq --evals 200000
+    python -m repro solve MK3 --variant cts2 --record run.jsonl
+    python -m repro trace run.jsonl
     python -m repro exact FP23
     python -m repro generate 10 250 --correlated --out hard.txt
     python -m repro info MK3
@@ -81,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--trace", action="store_true", help="print per-round statistics"
     )
+    solve.add_argument(
+        "--record",
+        metavar="PATH",
+        help="stream observability events (JSONL) to PATH while solving "
+        "(its/cts1/cts2 only); inspect later with `repro trace PATH`",
+    )
 
     exact = sub.add_parser("exact", help="prove the optimum by branch and bound")
     exact.add_argument("instance")
@@ -109,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--out", help="write to this file instead of stdout")
 
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a recorded run (result JSON or JSONL event stream)",
+    )
+    trace.add_argument("file", help="a save_result JSON or a --record JSONL stream")
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="check a JSONL stream against the event schema and exit",
+    )
+    trace.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="replay a JSONL stream into Prometheus-style metrics text",
+    )
+
     return parser
 
 
@@ -130,6 +156,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         budget["virtual_seconds"] = 1.0
 
+    if args.record and args.variant in ("seq", "async"):
+        raise SystemExit(
+            "error: --record needs a master-driven variant (its/cts1/cts2)"
+        )
+
     if args.variant == "seq":
         result = solve_seq(instance, rng_seed=args.seed, **budget)
     elif args.variant == "async":
@@ -137,16 +168,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             instance, n_threads=args.slaves, rng_seed=args.seed, **budget
         )
     else:
+        from .obs import RunRecorder
+
         solver = {"its": solve_its, "cts1": solve_cts1, "cts2": solve_cts2}[
             args.variant
         ]
-        result = solver(
-            instance,
-            n_slaves=args.slaves,
-            n_rounds=args.rounds,
-            rng_seed=args.seed,
-            **budget,
-        )
+        with RunRecorder(args.record, enabled=bool(args.record)) as recorder:
+            result = solver(
+                instance,
+                n_slaves=args.slaves,
+                n_rounds=args.rounds,
+                rng_seed=args.seed,
+                recorder=recorder,
+                **budget,
+            )
+        if args.record:
+            print(f"recorded {len(recorder.events)} events to {args.record}")
 
     print(result.summary())
     reference = instance.optimum or instance.best_known
@@ -222,6 +259,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import load_result, render_run_summary, summarize_result
+    from .obs import read_stream, replay_metrics, summarize_stream, validate_stream
+
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"error: no such file: {args.file}")
+    text = path.read_text(encoding="utf-8")
+    try:
+        whole = json.loads(text)
+    except json.JSONDecodeError:
+        whole = None
+    is_record = isinstance(whole, dict) and "format_version" in whole
+
+    if is_record:
+        if args.validate or args.prometheus:
+            raise SystemExit(
+                "error: --validate/--prometheus apply to JSONL event streams; "
+                f"{args.file} is a saved result record"
+            )
+        print(render_run_summary(summarize_result(load_result(path))))
+        return 0
+
+    if args.validate:
+        errors = validate_stream(text.splitlines())
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}")
+            return 1
+        n_events = sum(1 for line in text.splitlines() if line.strip())
+        print(f"ok: {n_events} events conform to the schema")
+        return 0
+
+    events = read_stream(path)
+    if not events:
+        raise SystemExit(f"error: {args.file} contains no events")
+    if args.prometheus:
+        print(replay_metrics(events).render_prometheus())
+        return 0
+    print(render_run_summary(summarize_stream(events)))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -231,6 +313,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "suite": _cmd_suite,
         "info": _cmd_info,
         "report": _cmd_report,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -44,6 +44,8 @@ from ..core.termination import Budget
 from ..farm.clock import VirtualClock
 from ..farm.machine import FarmModel
 from ..farm.trace import EventKind, FarmTrace
+from ..obs.recorder import RunRecorder
+from ..obs.telemetry import RoundTelemetry, collect_round_telemetry
 from ..parallel.backends import Backend
 from ..parallel.message import SlaveReport, SlaveTask
 from ..rng import derive_rng, make_rng, random_seed_from
@@ -53,19 +55,6 @@ from .result import ParallelRunResult, RoundStats
 from .sgp import SGPConfig, update_strategies
 
 __all__ = ["MasterConfig", "MasterProcess"]
-
-
-def _nbytes_by_slave(nbytes: object) -> dict[int, int]:
-    """Normalize a backend's per-round byte ledger to ``{slave_id: bytes}``.
-
-    The bundled backends report dicts; third-party backends implementing the
-    older list convention (index = slave id) keep working.
-    """
-    if isinstance(nbytes, dict):
-        return nbytes
-    if nbytes:
-        return {k: int(v) for k, v in enumerate(nbytes)}  # type: ignore[arg-type]
-    return {}
 
 
 @dataclass(frozen=True)
@@ -122,6 +111,7 @@ class MasterProcess:
         rng_seed: int = 0,
         farm: FarmModel | None = None,
         variant_name: str | None = None,
+        recorder: RunRecorder | None = None,
     ) -> None:
         if backend.n_slaves != config.n_slaves:
             raise ValueError(
@@ -144,6 +134,9 @@ class MasterProcess:
         self.alpha_controller = AlphaController(
             alpha=config.isp.alpha,
         )
+        #: structured observability sink; the disabled default is a no-op,
+        #: so recording is strictly opt-in and costs nothing otherwise
+        self.recorder = recorder if recorder is not None else RunRecorder.disabled()
         self._phase_trace: list[str] | None = None
 
     # ------------------------------------------------------------------ #
@@ -156,12 +149,23 @@ class MasterProcess:
         """
         t_wall0 = time.perf_counter()
         cfg = self.config
+        rec = self.recorder
         clock = VirtualClock(cfg.n_slaves + 1) if self.farm else None
         trace = FarmTrace() if self.farm else None
 
         # --- Fig. 2 line 1: distribute problem data ---------------------
         self._note("distribute_problem")
         self.backend.start(self.instance, cfg.ts_config)
+        rec.run_start(
+            variant=self.variant_name,
+            n_slaves=cfg.n_slaves,
+            n_rounds=cfg.n_rounds,
+            seed=self.rng_seed,
+            instance=str(getattr(self.instance, "name", "") or ""),
+            instance_size=self.instance.size_label,
+            communicate=cfg.communicate,
+            adapt_strategies=cfg.adapt_strategies,
+        )
 
         # --- initial entries: random solutions + random strategies ------
         entries: list[SlaveEntry] = []
@@ -221,6 +225,11 @@ class MasterProcess:
                         seq_id=round_idx * cfg.n_slaves + k,
                     )
                 )
+            rec.round_start(
+                round_idx,
+                tasked_slaves=sum(1 for t in tasks if t is not None),
+                backoff_slaves=backoff_slaves,
+            )
             self._note("send_tasks")
             raw_reports = self.backend.run_round(tasks)
             self._note("receive_reports")
@@ -249,22 +258,23 @@ class MasterProcess:
                 accepted[k] = report
             reports = [accepted[k] for k in sorted(accepted)]
 
-            # --- farm time accounting -----------------------------------
+            # --- measured wall telemetry + farm time accounting ---------
+            # One typed record per round, emitted by the backend itself —
+            # the recorder stream gets it unconditionally, so wall-clock
+            # runs without a farm model keep their phase splits too (the
+            # old path only kept them when a FarmTrace existed).
+            telemetry = collect_round_telemetry(self.backend, round_idx)
+            rec.round_telemetry(telemetry)
             round_seconds, comm_seconds, slave_seconds = self._charge_round(
-                clock, trace, reports
+                clock, trace, reports, telemetry
             )
-            task_nbytes = _nbytes_by_slave(getattr(self.backend, "last_task_nbytes", {}))
-            report_nbytes = _nbytes_by_slave(
-                getattr(self.backend, "last_report_nbytes", {})
-            )
-            bytes_sent += sum(task_nbytes.values()) + sum(report_nbytes.values())
-
-            # --- measured wall phases (scatter/compute/gather) ----------
-            phase_wall = dict(getattr(self.backend, "last_phase_seconds", {}) or {})
-            gather_idle = dict(getattr(self.backend, "last_gather_idle_s", {}) or {})
-            master_wait = float(getattr(self.backend, "last_master_wait_s", 0.0) or 0.0)
+            bytes_sent += telemetry.total_bytes
+            phase_wall = dict(telemetry.phase_seconds)
+            gather_idle = dict(telemetry.gather_idle_s)
             if trace is not None and phase_wall:
-                trace.record_wall_phases(round_idx, phase_wall, gather_idle, master_wait)
+                trace.record_wall_phases(
+                    round_idx, phase_wall, gather_idle, telemetry.master_wait_s
+                )
 
             # --- fold results into the data structure -------------------
             improved_slaves = 0
@@ -308,6 +318,14 @@ class MasterProcess:
             fault_summary["stale"] += stale_reports
             if failed_slaves or backoff_slaves:
                 fault_summary["degraded_rounds"] += 1
+            if failed_slaves or backoff_slaves or duplicate_reports or stale_reports:
+                rec.faults(
+                    round_idx,
+                    failed_slaves=failed_slaves,
+                    backoff_slaves=backoff_slaves,
+                    duplicate_reports=duplicate_reports,
+                    stale_reports=stale_reports,
+                )
 
             # --- SGP -----------------------------------------------------
             sgp_actions: Counter[str] = Counter()
@@ -347,6 +365,9 @@ class MasterProcess:
                         entry.init_solution = own
                 isp_rules = Counter({"keep": cfg.n_slaves})
 
+            if cfg.adapt_strategies:
+                rec.sgp(round_idx, dict(sgp_actions))
+            rec.isp(round_idx, dict(isp_rules))
             rounds.append(
                 RoundStats(
                     round_index=round_idx,
@@ -366,6 +387,13 @@ class MasterProcess:
                     gather_idle_s=gather_idle,
                 )
             )
+            rec.round_end(
+                round_idx,
+                best_value=global_best.value,
+                evaluations=rounds[-1].evaluations,
+                improved_slaves=improved_slaves,
+                n_reports=len(reports),
+            )
 
             # Early exit once the target objective is reached (time-to-
             # target experiments) — launching further rounds would only
@@ -377,7 +405,7 @@ class MasterProcess:
             ):
                 break
 
-        return ParallelRunResult(
+        result = ParallelRunResult(
             variant=self.variant_name,
             best=global_best,
             rounds=rounds,
@@ -390,6 +418,16 @@ class MasterProcess:
             value_history=value_history,
             fault_summary={k: v for k, v in fault_summary.items() if v},
         )
+        rec.run_end(
+            best_value=result.best.value,
+            total_evaluations=result.total_evaluations,
+            n_rounds=result.n_rounds,
+            wall_seconds=result.wall_seconds,
+            virtual_seconds=result.virtual_seconds,
+            bytes_sent=result.bytes_sent,
+            fault_summary=result.fault_summary,
+        )
+        return result
 
     # ------------------------------------------------------------------ #
     def _charge_round(
@@ -397,7 +435,8 @@ class MasterProcess:
         clock: VirtualClock | None,
         trace: FarmTrace | None,
         reports: list[SlaveReport],
-    ) -> tuple[float, float, list[float]]:
+        telemetry: RoundTelemetry,
+    ) -> tuple[float, float, dict[int, float]]:
         """Charge one round to the virtual clock; returns time aggregates.
 
         Sequence per the synchronous scheme: the master serially scatters
@@ -408,19 +447,20 @@ class MasterProcess:
         and the barrier still synchronizes every rank, so the clock vector
         never runs backwards.  Straggler faults multiply the afflicted
         slave's compute time by the backend-reported slowdown factor.
+
+        The byte ledgers and slowdown factors come from the round's
+        :class:`~repro.obs.telemetry.RoundTelemetry`; the returned per-slave
+        compute charges are keyed by slave id (missing id = missing report).
         """
         m = self.instance.n_constraints
         if self.farm is None or clock is None or trace is None:
-            slave_seconds = [0.0 for _ in reports]
-            return 0.0, 0.0, slave_seconds
+            return 0.0, 0.0, {r.slave_id: 0.0 for r in reports}
 
         master_rank = self.config.n_slaves
         t_round_start = clock.now
-        task_nbytes = _nbytes_by_slave(getattr(self.backend, "last_task_nbytes", {}))
-        report_nbytes = _nbytes_by_slave(
-            getattr(self.backend, "last_report_nbytes", {})
-        )
-        slowdowns = getattr(self.backend, "last_slowdowns", {}) or {}
+        task_nbytes = telemetry.task_nbytes
+        report_nbytes = telemetry.report_nbytes
+        slowdowns = telemetry.slowdowns
 
         # Scatter: the master's outgoing link serializes the sends.
         for k in sorted(task_nbytes):
@@ -433,7 +473,7 @@ class MasterProcess:
 
         # Compute: each surviving slave burns its evaluation count (at its
         # own speed when the farm is heterogeneous; slower under straggle).
-        slave_seconds = []
+        slave_seconds: dict[int, float] = {}
         for report in reports:
             k = report.slave_id
             dt = self.farm.compute_seconds_on(k, report.evaluations, m)
@@ -441,7 +481,7 @@ class MasterProcess:
             t0 = clock.time_of(k)
             clock.advance(k, dt)
             trace.record(k, EventKind.COMPUTE, t0, t0 + dt, "round-search")
-            slave_seconds.append(dt)
+            slave_seconds[k] = dt
 
         # Gather: the master's incoming link serializes; it can only start
         # receiving from slave k once k has finished.

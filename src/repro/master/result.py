@@ -17,7 +17,11 @@ class RoundStats:
     round_index: int
     best_value: float
     round_virtual_seconds: float
-    slave_virtual_seconds: list[float]
+    #: virtual compute seconds charged to each *reporting* slave, keyed by
+    #: slave id — on a degraded round the missing ids are exactly the
+    #: slaves whose reports never arrived (a list by arrival order would
+    #: silently misattribute entries as soon as one report goes missing)
+    slave_virtual_seconds: dict[int, float]
     communication_seconds: float
     evaluations: int
     improved_slaves: int
@@ -70,7 +74,12 @@ class ParallelRunResult:
         return sum(1 for s in self.rounds if s.failed_slaves or s.backoff_slaves)
 
     def best_value_at(self, virtual_second: float) -> float:
-        """Best value known at a given virtual time (anytime curves)."""
+        """Best value known at a given virtual time (anytime curves).
+
+        Before the first round completes only the initial incumbent
+        (``value_history[0]``) is known — falling back to the first
+        round's best here would over-report the curve at small ``t``.
+        """
         best = float("-inf")
         elapsed = 0.0
         for stats in self.rounds:
@@ -78,8 +87,11 @@ class ParallelRunResult:
             if elapsed > virtual_second:
                 break
             best = max(best, stats.best_value)
-        if best == float("-inf") and self.rounds:
-            best = self.rounds[0].best_value
+        if best == float("-inf"):
+            if self.value_history:
+                best = self.value_history[0]
+            elif self.rounds:
+                best = self.rounds[0].best_value
         return best
 
     def summary(self) -> str:

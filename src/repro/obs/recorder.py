@@ -1,0 +1,321 @@
+"""Streaming JSONL run recorder.
+
+One :class:`RunRecorder` accompanies one run: the master emits a manifest,
+then per-round lifecycle events (round start, measured telemetry, ISP/SGP
+decisions, fault tallies, round end), then a run summary.  Events go to an
+in-memory list and, when a sink is attached, to a JSONL file as they
+happen — a crashed run still leaves every completed round on disk.
+
+The disabled recorder (:meth:`RunRecorder.disabled`, the master's default)
+short-circuits at the top of :meth:`emit`; the round loop pays one
+attribute load and a falsy check per event, which
+``benchmarks/bench_round_overhead.py`` bounds at well under 1% of a round.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from collections import Counter, defaultdict
+from pathlib import Path
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .telemetry import RoundTelemetry
+
+__all__ = ["RunRecorder", "read_stream", "replay_metrics", "summarize_stream"]
+
+
+def package_versions() -> dict[str, str]:
+    """Versions pinned into every run manifest (reproducibility breadcrumbs)."""
+    import numpy
+
+    from .._version import __version__
+
+    return {
+        "repro": __version__,
+        "numpy": numpy.__version__,
+        "python": platform.python_version(),
+    }
+
+
+class RunRecorder:
+    """Collects (and optionally streams) one run's observability events."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        enabled: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.events: list[dict] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._path = Path(path) if path is not None else None
+        self._sink: IO[str] | None = None
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    @classmethod
+    def disabled(cls) -> "RunRecorder":
+        """The no-op recorder the master uses when nobody asked to record."""
+        return cls(enabled=False)
+
+    # ------------------------------------------------------------------ #
+    # Core emission
+    # ------------------------------------------------------------------ #
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event (and stream it, when a sink is attached)."""
+        if not self.enabled:
+            return
+        record: dict = {
+            "event": event,
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._t0, 6),
+        }
+        record.update(fields)
+        self._seq += 1
+        self.events.append(record)
+        self._update_metrics(event, record)
+        if self._path is not None:
+            if self._sink is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._sink = self._path.open("w", encoding="utf-8")
+            self._sink.write(json.dumps(record) + "\n")
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Typed lifecycle helpers (one per schema event type)
+    # ------------------------------------------------------------------ #
+    def run_start(
+        self,
+        *,
+        variant: str,
+        n_slaves: int,
+        n_rounds: int,
+        seed: int,
+        instance: str,
+        instance_size: str,
+        communicate: bool,
+        adapt_strategies: bool,
+    ) -> None:
+        self.emit(
+            "run_start",
+            variant=variant,
+            n_slaves=int(n_slaves),
+            n_rounds=int(n_rounds),
+            seed=int(seed),
+            instance=instance,
+            instance_size=instance_size,
+            communicate=bool(communicate),
+            adapt_strategies=bool(adapt_strategies),
+            versions=package_versions(),
+        )
+
+    def round_start(
+        self, round_index: int, *, tasked_slaves: int, backoff_slaves: int
+    ) -> None:
+        self.emit(
+            "round_start",
+            round_index=int(round_index),
+            tasked_slaves=int(tasked_slaves),
+            backoff_slaves=int(backoff_slaves),
+        )
+
+    def round_telemetry(self, telemetry: RoundTelemetry) -> None:
+        self.emit("round_telemetry", **telemetry.to_event_fields())
+
+    def isp(self, round_index: int, rules: dict[str, int]) -> None:
+        self.emit(
+            "isp",
+            round_index=int(round_index),
+            rules={str(k): int(v) for k, v in rules.items()},
+        )
+
+    def sgp(self, round_index: int, actions: dict[str, int]) -> None:
+        self.emit(
+            "sgp",
+            round_index=int(round_index),
+            actions={str(k): int(v) for k, v in actions.items()},
+        )
+
+    def faults(
+        self,
+        round_index: int,
+        *,
+        failed_slaves: int,
+        backoff_slaves: int,
+        duplicate_reports: int,
+        stale_reports: int,
+    ) -> None:
+        self.emit(
+            "faults",
+            round_index=int(round_index),
+            failed_slaves=int(failed_slaves),
+            backoff_slaves=int(backoff_slaves),
+            duplicate_reports=int(duplicate_reports),
+            stale_reports=int(stale_reports),
+        )
+
+    def round_end(
+        self,
+        round_index: int,
+        *,
+        best_value: float,
+        evaluations: int,
+        improved_slaves: int,
+        n_reports: int,
+    ) -> None:
+        self.emit(
+            "round_end",
+            round_index=int(round_index),
+            best_value=float(best_value),
+            evaluations=int(evaluations),
+            improved_slaves=int(improved_slaves),
+            n_reports=int(n_reports),
+        )
+
+    def run_end(
+        self,
+        *,
+        best_value: float,
+        total_evaluations: int,
+        n_rounds: int,
+        wall_seconds: float,
+        virtual_seconds: float,
+        bytes_sent: int,
+        fault_summary: dict[str, int],
+    ) -> None:
+        self.emit(
+            "run_end",
+            best_value=float(best_value),
+            total_evaluations=int(total_evaluations),
+            n_rounds=int(n_rounds),
+            wall_seconds=float(wall_seconds),
+            virtual_seconds=float(virtual_seconds),
+            bytes_sent=int(bytes_sent),
+            fault_summary={str(k): int(v) for k, v in fault_summary.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Metrics projection
+    # ------------------------------------------------------------------ #
+    def _update_metrics(self, event: str, record: dict) -> None:
+        m = self.metrics
+        if event == "run_start":
+            m.set_gauge("repro_slaves", record["n_slaves"])
+        elif event == "round_telemetry":
+            for phase, seconds in record["phase_seconds"].items():
+                m.inc("repro_phase_seconds_total", seconds, phase=phase)
+            m.inc("repro_master_wait_seconds_total", record["master_wait_s"])
+            for slave, seconds in record["gather_idle_s"].items():
+                m.inc("repro_gather_idle_seconds_total", seconds, slave=slave)
+            m.inc(
+                "repro_bytes_total",
+                sum(record["task_nbytes"].values()),
+                direction="task",
+            )
+            m.inc(
+                "repro_bytes_total",
+                sum(record["report_nbytes"].values()),
+                direction="report",
+            )
+        elif event == "faults":
+            for kind, key in (
+                ("failed", "failed_slaves"),
+                ("backoff", "backoff_slaves"),
+                ("duplicate", "duplicate_reports"),
+                ("stale", "stale_reports"),
+            ):
+                if record[key]:
+                    m.inc("repro_faults_total", record[key], kind=kind)
+        elif event == "round_end":
+            m.inc("repro_rounds_total")
+            m.inc("repro_evaluations_total", record["evaluations"])
+            m.set_gauge("repro_best_value", record["best_value"])
+
+
+def read_stream(path: str | Path) -> list[dict]:
+    """Load a JSONL event stream written by :class:`RunRecorder`."""
+    events = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def replay_metrics(events: Iterable[dict]) -> MetricsRegistry:
+    """Rebuild the metrics registry a live run would have produced."""
+    recorder = RunRecorder()
+    for event in events:
+        payload = {k: v for k, v in event.items() if k not in ("event", "seq", "t")}
+        recorder.emit(event.get("event", "?"), **payload)
+    return recorder.metrics
+
+
+def summarize_stream(events: list[dict]) -> dict:
+    """Aggregate a recorded stream: phase totals, idle ratios, fault tallies.
+
+    The JSONL-side counterpart of ``analysis.report.summarize_result`` —
+    ``python -m repro trace`` renders whichever of the two matches its
+    input file, with the same headline numbers.
+    """
+    manifest = next((e for e in events if e["event"] == "run_start"), None)
+    finale = next((e for e in events if e["event"] == "run_end"), None)
+    phase_totals: dict[str, float] = defaultdict(float)
+    gather_idle: dict[int, float] = defaultdict(float)
+    task_bytes = report_bytes = 0
+    fault_tallies: Counter[str] = Counter()
+    n_rounds = 0
+    for event in events:
+        kind = event["event"]
+        if kind == "round_telemetry":
+            for phase, seconds in event["phase_seconds"].items():
+                phase_totals[phase] += seconds
+            phase_totals["master_wait"] += event["master_wait_s"]
+            for slave, seconds in event["gather_idle_s"].items():
+                gather_idle[int(slave)] += seconds
+            task_bytes += sum(event["task_nbytes"].values())
+            report_bytes += sum(event["report_nbytes"].values())
+        elif kind == "faults":
+            fault_tallies["failed"] += event["failed_slaves"]
+            fault_tallies["backoff"] += event["backoff_slaves"]
+            fault_tallies["duplicate"] += event["duplicate_reports"]
+            fault_tallies["stale"] += event["stale_reports"]
+        elif kind == "round_end":
+            n_rounds += 1
+    gather_total = phase_totals.get("gather", 0.0)
+    idle_ratio = 0.0
+    if gather_total > 0.0 and gather_idle:
+        idle_ratio = min(
+            1.0, sum(gather_idle.values()) / (gather_total * len(gather_idle))
+        )
+    return {
+        "variant": manifest["variant"] if manifest else "?",
+        "instance": manifest["instance"] if manifest else "?",
+        "n_slaves": manifest["n_slaves"] if manifest else 0,
+        "n_rounds": n_rounds,
+        "best_value": finale["best_value"] if finale else None,
+        "total_evaluations": finale["total_evaluations"] if finale else None,
+        "wall_seconds": finale["wall_seconds"] if finale else None,
+        "phase_totals": dict(phase_totals),
+        "gather_idle_s": dict(sorted(gather_idle.items())),
+        "gather_idle_ratio": idle_ratio,
+        "bytes": {"task": task_bytes, "report": report_bytes},
+        "fault_tallies": {k: v for k, v in fault_tallies.items() if v},
+    }

@@ -1,0 +1,130 @@
+"""The JSONL run-record event schema, pinned.
+
+Every event the :class:`~repro.obs.recorder.RunRecorder` emits carries the
+envelope fields (``event``, ``seq``, ``t``) plus the *exact* field set
+declared here for its type — no optional fields, so a consumer (or the
+golden-schema test) can rely on every key being present in every record of
+a type.  ``validate_stream`` is what the CI bench-smoke job runs over a
+freshly recorded stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+__all__ = ["ENVELOPE_FIELDS", "EVENT_SCHEMAS", "validate_event", "validate_stream"]
+
+#: Fields present on every event regardless of type: the event type tag, a
+#: monotonically increasing sequence number, and seconds since run start.
+ENVELOPE_FIELDS = frozenset({"event", "seq", "t"})
+
+#: Exact (required and exhaustive) payload field set per event type.
+EVENT_SCHEMAS: dict[str, frozenset[str]] = {
+    "run_start": frozenset(
+        {
+            "variant",
+            "n_slaves",
+            "n_rounds",
+            "seed",
+            "instance",
+            "instance_size",
+            "communicate",
+            "adapt_strategies",
+            "versions",
+        }
+    ),
+    "round_start": frozenset({"round_index", "tasked_slaves", "backoff_slaves"}),
+    "round_telemetry": frozenset(
+        {
+            "round_index",
+            "phase_seconds",
+            "gather_idle_s",
+            "master_wait_s",
+            "task_nbytes",
+            "report_nbytes",
+            "slowdowns",
+        }
+    ),
+    "isp": frozenset({"round_index", "rules"}),
+    "sgp": frozenset({"round_index", "actions"}),
+    "faults": frozenset(
+        {
+            "round_index",
+            "failed_slaves",
+            "backoff_slaves",
+            "duplicate_reports",
+            "stale_reports",
+        }
+    ),
+    "round_end": frozenset(
+        {"round_index", "best_value", "evaluations", "improved_slaves", "n_reports"}
+    ),
+    "run_end": frozenset(
+        {
+            "best_value",
+            "total_evaluations",
+            "n_rounds",
+            "wall_seconds",
+            "virtual_seconds",
+            "bytes_sent",
+            "fault_summary",
+        }
+    ),
+}
+
+
+def validate_event(event: dict) -> list[str]:
+    """Return the schema violations of one decoded event (empty = valid)."""
+    errors: list[str] = []
+    kind = event.get("event")
+    if kind not in EVENT_SCHEMAS:
+        return [f"unknown event type {kind!r}"]
+    missing_envelope = ENVELOPE_FIELDS - event.keys()
+    if missing_envelope:
+        errors.append(f"{kind}: missing envelope fields {sorted(missing_envelope)}")
+    expected = EVENT_SCHEMAS[kind]
+    payload = event.keys() - ENVELOPE_FIELDS
+    missing = expected - payload
+    extra = payload - expected
+    if missing:
+        errors.append(f"{kind}: missing fields {sorted(missing)}")
+    if extra:
+        errors.append(f"{kind}: unexpected fields {sorted(extra)}")
+    return errors
+
+
+def validate_stream(lines: Iterable[str]) -> list[str]:
+    """Validate a JSONL stream; returns all violations with line numbers.
+
+    Structural checks beyond per-event schema: sequence numbers must count
+    up from 0 without gaps, the first event must be the ``run_start``
+    manifest, and at most one ``run_end`` may appear (as the last event).
+    """
+    errors: list[str] = []
+    events: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {lineno}: event is not an object")
+            continue
+        for err in validate_event(event):
+            errors.append(f"line {lineno}: {err}")
+        events.append(event)
+    if events:
+        if events[0].get("event") != "run_start":
+            errors.append("stream does not begin with a run_start manifest")
+        seqs = [e.get("seq") for e in events]
+        if seqs != list(range(len(events))):
+            errors.append("sequence numbers are not gapless from 0")
+        ends = [i for i, e in enumerate(events) if e.get("event") == "run_end"]
+        if len(ends) > 1 or (ends and ends[0] != len(events) - 1):
+            errors.append("run_end must appear exactly once, as the final event")
+    return errors

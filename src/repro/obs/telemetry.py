@@ -1,0 +1,111 @@
+"""The typed per-round measurement record every backend emits.
+
+Before this module the master scraped loosely-conventioned attributes off
+the backend after each round (``getattr(backend, "last_phase_seconds", ...)``
+and friends) — easy to drop a field, impossible to type-check, and exactly
+how the run-record serializer came to silently lose the phase splits the
+paper's A5/A8 experiments are built on.  :class:`RoundTelemetry` is the
+single structured carrier now: both bundled backends publish one per round
+(``backend.last_telemetry``), and :func:`collect_round_telemetry` adapts
+third-party backends that still only speak the legacy attribute convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundTelemetry", "collect_round_telemetry"]
+
+
+def _nbytes_by_slave(nbytes: object) -> dict[int, int]:
+    """Normalize a byte ledger to ``{slave_id: bytes}``.
+
+    The bundled backends report dicts; third-party backends implementing the
+    older list convention (index = slave id) keep working.
+    """
+    if isinstance(nbytes, dict):
+        return {int(k): int(v) for k, v in nbytes.items()}
+    if nbytes:
+        return {k: int(v) for k, v in enumerate(nbytes)}  # type: ignore[arg-type]
+    return {}
+
+
+@dataclass(frozen=True)
+class RoundTelemetry:
+    """Everything one backend round measured about itself.
+
+    Wall-clock quantities only — the *virtual* farm seconds live in
+    :class:`~repro.master.result.RoundStats`; carrying both side by side is
+    what lets an experiment check the simulated schedule against what the
+    real round loop actually did.
+    """
+
+    round_index: int
+    #: measured wall seconds per phase (``scatter``/``compute``/``gather``)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: seconds from gather start until each slave's first accepted report
+    gather_idle_s: dict[int, float] = field(default_factory=dict)
+    #: master wall time blocked waiting on slaves
+    master_wait_s: float = 0.0
+    #: bytes of task traffic sent to each slave this round
+    task_nbytes: dict[int, int] = field(default_factory=dict)
+    #: bytes of report traffic received from each slave this round
+    report_nbytes: dict[int, int] = field(default_factory=dict)
+    #: injected straggler slowdown factors by slave id (virtual-time input)
+    slowdowns: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.task_nbytes.values()) + sum(self.report_nbytes.values())
+
+    def idle_ratio(self) -> float:
+        """Summed gather idle as a fraction of total slave-observed gather time.
+
+        A load-balance figure in the A8 spirit, but on *measured* wall time:
+        0 when every report was already waiting at gather start.
+        """
+        gather = self.phase_seconds.get("gather", 0.0)
+        if gather <= 0.0 or not self.gather_idle_s:
+            return 0.0
+        denom = gather * len(self.gather_idle_s)
+        return min(1.0, sum(self.gather_idle_s.values()) / denom)
+
+    def to_event_fields(self) -> dict:
+        """JSON-ready field dict for the recorder (string keys, plain types)."""
+        return {
+            "round_index": self.round_index,
+            "phase_seconds": {k: float(v) for k, v in self.phase_seconds.items()},
+            "gather_idle_s": {str(k): float(v) for k, v in self.gather_idle_s.items()},
+            "master_wait_s": float(self.master_wait_s),
+            "task_nbytes": {str(k): int(v) for k, v in self.task_nbytes.items()},
+            "report_nbytes": {str(k): int(v) for k, v in self.report_nbytes.items()},
+            "slowdowns": {str(k): float(v) for k, v in self.slowdowns.items()},
+        }
+
+
+def collect_round_telemetry(backend: object, round_index: int) -> RoundTelemetry:
+    """Return the backend's telemetry for the round that just ran.
+
+    Backends that publish a typed record (``backend.last_telemetry``, set by
+    ``run_round``) are taken at their word; anything else is adapted from
+    the legacy ``last_*`` attribute convention so third-party backends keep
+    working unchanged.
+    """
+    told = getattr(backend, "last_telemetry", None)
+    if isinstance(told, RoundTelemetry):
+        return told
+    return RoundTelemetry(
+        round_index=round_index,
+        phase_seconds=dict(getattr(backend, "last_phase_seconds", {}) or {}),
+        gather_idle_s={
+            int(k): float(v)
+            for k, v in (getattr(backend, "last_gather_idle_s", {}) or {}).items()
+        },
+        master_wait_s=float(getattr(backend, "last_master_wait_s", 0.0) or 0.0),
+        task_nbytes=_nbytes_by_slave(getattr(backend, "last_task_nbytes", {})),
+        report_nbytes=_nbytes_by_slave(getattr(backend, "last_report_nbytes", {})),
+        slowdowns={
+            int(k): float(v)
+            for k, v in (getattr(backend, "last_slowdowns", {}) or {}).items()
+        },
+    )

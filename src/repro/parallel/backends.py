@@ -44,13 +44,15 @@ return value then simply omits the reports the faults destroyed.  Task
 entries may be ``None`` — the master uses that to keep a crashed slave in
 exponential backoff.
 
-Observability: after each round both backends expose wall-clock phase
-splits (``last_phase_seconds`` with keys ``scatter``/``compute``/``gather``),
-per-slave collection latencies (``last_gather_idle_s``: seconds from gather
-start until that slave's first accepted report) and the master's blocked
-time (``last_master_wait_s``), with cumulative tallies in ``phase_totals``.
-The master forwards them into :class:`~repro.master.result.RoundStats` and
-the farm trace; ``benchmarks/bench_round_overhead.py`` builds on them.
+Observability (DESIGN.md §5.5): after each round both backends publish one
+typed :class:`~repro.obs.telemetry.RoundTelemetry` record
+(``last_telemetry``) carrying the wall-clock phase split, per-slave gather
+idle, master blocked time and the byte ledgers — the master consumes that
+record (via :func:`~repro.obs.telemetry.collect_round_telemetry`) instead
+of scraping attributes.  The legacy per-field attributes
+(``last_phase_seconds``, ``last_gather_idle_s``, ``last_master_wait_s``,
+``phase_totals``) remain as the raw measurement store and for third-party
+consumers; ``benchmarks/bench_round_overhead.py`` builds on them.
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ from typing import Protocol, Sequence
 
 from ..core.instance import MKPInstance
 from ..core.tabu_search import TabuSearchConfig
+from ..obs.telemetry import RoundTelemetry
 from .comm import InProcComm, MessageRouter, PipeComm
 from .faults import ChaosComm, FaultPlan
 from .message import RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
@@ -101,6 +104,10 @@ class Backend(Protocol):
 def _validate_round(tasks: Sequence[SlaveTask | None], n_slaves: int) -> None:
     if len(tasks) != n_slaves:
         raise ValueError(f"expected {n_slaves} tasks; got {len(tasks)}")
+
+
+def _round_index_of(tasks: Sequence[SlaveTask | None]) -> int:
+    return next((t.round_index for t in tasks if t is not None), -1)
 
 
 class SerialBackend:
@@ -157,6 +164,8 @@ class SerialBackend:
         self.last_master_wait_s: float = 0.0
         #: cumulative phase wall time across rounds (plus ``master_wait``)
         self.phase_totals: Counter[str] = Counter()
+        #: typed telemetry record of the last round (DESIGN.md §5.5)
+        self.last_telemetry: RoundTelemetry | None = None
 
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
         self._instance = instance
@@ -171,10 +180,11 @@ class SerialBackend:
         )
 
     def _execute(self, k: int, task: SlaveTask) -> SlaveReport:
-        if self._runtimes:
-            return self._runtimes[k].execute(task)
         assert self._instance is not None and self._config is not None
-        return execute_task(self._instance, self._config, task, slave_id=k)
+        runtime = self._runtimes[k] if self._runtimes else None
+        return execute_task(
+            self._instance, self._config, task, slave_id=k, runtime=runtime
+        )
 
     def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
         if self._instance is None or self._config is None:
@@ -239,6 +249,15 @@ class SerialBackend:
             "gather": t_end - t_gather,
         }
         self.phase_totals.update(self.last_phase_seconds)
+        self.last_telemetry = RoundTelemetry(
+            round_index=_round_index_of(tasks),
+            phase_seconds=dict(self.last_phase_seconds),
+            gather_idle_s=dict(self.last_gather_idle_s),
+            master_wait_s=self.last_master_wait_s,
+            task_nbytes=dict(self.last_task_nbytes),
+            report_nbytes=dict(self.last_report_nbytes),
+            slowdowns=dict(self.last_slowdowns),
+        )
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
@@ -369,6 +388,8 @@ class MultiprocessingBackend:
         self.last_master_wait_s: float = 0.0
         #: cumulative phase wall time across rounds (plus ``master_wait``)
         self.phase_totals: Counter[str] = Counter()
+        #: typed telemetry record of the last round (DESIGN.md §5.5)
+        self.last_telemetry: RoundTelemetry | None = None
 
     # ------------------------------------------------------------------ #
     def _spawn(self, k: int) -> None:
@@ -541,6 +562,14 @@ class MultiprocessingBackend:
         }
         self.phase_totals.update(self.last_phase_seconds)
         self.phase_totals["master_wait"] += wait_s
+        self.last_telemetry = RoundTelemetry(
+            round_index=_round_index_of(tasks),
+            phase_seconds=dict(self.last_phase_seconds),
+            gather_idle_s=dict(self.last_gather_idle_s),
+            master_wait_s=self.last_master_wait_s,
+            task_nbytes=dict(self.last_task_nbytes),
+            report_nbytes=dict(self.last_report_nbytes),
+        )
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 

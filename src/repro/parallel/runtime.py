@@ -35,6 +35,8 @@ every evaluation counter, and the incumbent snapshot.
 
 from __future__ import annotations
 
+import time
+
 from ..core.instance import MKPInstance
 from ..core.strategy import Strategy
 from ..core.tabu_search import TabuSearch, TabuSearchConfig
@@ -67,6 +69,10 @@ class SlaveRuntime:
         self.slave_id = int(slave_id)
         #: tasks served since spawn (telemetry; 0 = arena never reused yet)
         self.tasks_served = 0
+        #: wall seconds of the most recent :meth:`execute` (telemetry)
+        self.last_execute_s = 0.0
+        #: cumulative wall seconds spent inside :meth:`execute` since spawn
+        self.total_execute_s = 0.0
         self._thread = TabuSearch(instance, _BOOT_STRATEGY, config=config)
 
     @property
@@ -89,9 +95,12 @@ class SlaveRuntime:
         for the same task: ``rebind`` re-seeds the RNG from ``task.seed``
         and clears every per-run memory before the run starts.
         """
+        t0 = time.perf_counter()
         thread = self._thread.rebind(task.strategy, task.seed)
         result = thread.run(x_init=task.x_init, budget=task.budget)
         self.tasks_served += 1
+        self.last_execute_s = time.perf_counter() - t0
+        self.total_execute_s += self.last_execute_s
         return SlaveReport(
             slave_id=self.slave_id,
             best=result.best,

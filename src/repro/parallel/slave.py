@@ -29,6 +29,19 @@ def execute_task(
     config: TabuSearchConfig,
     task: SlaveTask,
     slave_id: int,
+    runtime: SlaveRuntime | None = None,
 ) -> SlaveReport:
-    """Run one tabu-search round on a cold (single-use) runtime."""
+    """Run one tabu-search round; cold by default, warm when given a runtime.
+
+    With ``runtime=None`` a fresh single-use :class:`SlaveRuntime` is built
+    (the pre-warm behaviour).  Passing a cached runtime makes this the one
+    call path for both temperatures — the backends use it so that only the
+    runtime's *lifetime*, never the execution code, differs between them.
+    """
+    if runtime is not None:
+        if runtime.slave_id != slave_id:
+            raise ValueError(
+                f"runtime belongs to slave {runtime.slave_id}, not {slave_id}"
+            )
+        return runtime.execute(task)
     return SlaveRuntime(instance, config, slave_id=slave_id).execute(task)

@@ -280,7 +280,7 @@ def solve_cts_async(
                 round_index=segment_counter - 1,
                 best_value=global_best.value,
                 round_virtual_seconds=dt + send_dt,
-                slave_virtual_seconds=[dt],
+                slave_virtual_seconds={pid: dt},
                 communication_seconds=send_dt,
                 evaluations=result.evaluations,
                 improved_slaves=int(improved),

@@ -149,7 +149,9 @@ def solve_decomposition(
         round_index=0,
         best_value=best.value,
         round_virtual_seconds=block_makespan + polish_seconds,
-        slave_virtual_seconds=[farm.compute_seconds(e, m) for e in block_evals],
+        slave_virtual_seconds={
+            i: farm.compute_seconds(e, m) for i, e in enumerate(block_evals)
+        },
         communication_seconds=0.0,
         evaluations=total_evals,
         improved_slaves=len(blocks),

@@ -28,6 +28,7 @@ from ..farm.machine import ALPHA_FARM, FarmModel
 from ..farm.trace import EventKind, FarmTrace
 from ..master.master import MasterConfig, MasterProcess
 from ..master.result import ParallelRunResult, RoundStats
+from ..obs.recorder import RunRecorder
 from ..parallel.backends import Backend, SerialBackend
 from ..rng import derive_rng, make_rng
 
@@ -115,7 +116,7 @@ def solve_seq(
         round_index=0,
         best_value=result.best.value,
         round_virtual_seconds=compute,
-        slave_virtual_seconds=[compute],
+        slave_virtual_seconds={0: compute},
         communication_seconds=0.0,
         evaluations=result.evaluations,
         improved_slaves=int(result.improved),
@@ -150,6 +151,7 @@ def _solve_master_variant(
     master_config: MasterConfig | None,
     target_value: float | None = None,
     wall_seconds: float | None = None,
+    recorder: RunRecorder | None = None,
 ) -> ParallelRunResult:
     budget = _resolve_budget(
         instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
@@ -172,6 +174,7 @@ def _solve_master_variant(
             rng_seed=rng_seed,
             farm=farm,
             variant_name=variant_name,
+            recorder=recorder,
         )
         return master.run(budget_per_slave=budget)
     finally:
@@ -192,6 +195,7 @@ def solve_its(
     master_config: MasterConfig | None = None,
     target_value: float | None = None,
     wall_seconds: float | None = None,
+    recorder: RunRecorder | None = None,
 ) -> ParallelRunResult:
     """ITS — P independent threads, no communication, fixed strategies."""
     if master_config is not None:
@@ -212,6 +216,7 @@ def solve_its(
         master_config=master_config,
         target_value=target_value,
         wall_seconds=wall_seconds,
+        recorder=recorder,
     )
 
 
@@ -228,6 +233,7 @@ def solve_cts1(
     master_config: MasterConfig | None = None,
     target_value: float | None = None,
     wall_seconds: float | None = None,
+    recorder: RunRecorder | None = None,
 ) -> ParallelRunResult:
     """CTS1 — cooperative threads (ISP pooling), fixed strategies."""
     if master_config is not None:
@@ -248,6 +254,7 @@ def solve_cts1(
         master_config=master_config,
         target_value=target_value,
         wall_seconds=wall_seconds,
+        recorder=recorder,
     )
 
 
@@ -264,6 +271,7 @@ def solve_cts2(
     master_config: MasterConfig | None = None,
     target_value: float | None = None,
     wall_seconds: float | None = None,
+    recorder: RunRecorder | None = None,
 ) -> ParallelRunResult:
     """CTS2 — full cooperative parallel TS with dynamic strategy tuning."""
     if master_config is not None:
@@ -284,4 +292,5 @@ def solve_cts2(
         master_config=master_config,
         target_value=target_value,
         wall_seconds=wall_seconds,
+        recorder=recorder,
     )

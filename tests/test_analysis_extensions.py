@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -83,6 +86,118 @@ class TestSerialization:
         data["format_version"] = 999
         with pytest.raises(ValueError, match="version"):
             result_from_dict(data)
+
+
+class TestSerializationV2:
+    """The v2 format is lossless and a fixed point (ISSUE satellites 1–2)."""
+
+    def test_dict_fixed_point(self, run_result):
+        data = result_to_dict(run_result)
+        assert result_to_dict(result_from_dict(data)) == data
+        # Byte-identical through an actual JSON round-trip too.
+        rehydrated = result_from_dict(json.loads(json.dumps(data)))
+        assert json.dumps(result_to_dict(rehydrated)) == json.dumps(data)
+
+    def test_phase_wall_and_gather_idle_survive(self, run_result, tmp_path):
+        assert any(s.phase_wall_seconds for s in run_result.rounds)
+        path = tmp_path / "run.json"
+        save_result(run_result, path)
+        loaded = load_result(path)
+        for orig, back in zip(run_result.rounds, loaded.rounds):
+            assert back.phase_wall_seconds == orig.phase_wall_seconds
+            assert back.gather_idle_s == orig.gather_idle_s
+            assert all(isinstance(k, int) for k in back.gather_idle_s)
+
+    def test_slave_virtual_seconds_keyed_by_id(self, run_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(run_result, path)
+        loaded = load_result(path)
+        for orig, back in zip(run_result.rounds, loaded.rounds):
+            assert back.slave_virtual_seconds == orig.slave_virtual_seconds
+            assert all(isinstance(k, int) for k in back.slave_virtual_seconds)
+
+    def test_trace_wall_phases_survive(self, run_result, tmp_path):
+        totals = run_result.trace.wall_phase_totals()
+        assert totals.get("compute", 0.0) > 0.0
+        path = tmp_path / "run.json"
+        save_result(run_result, path)
+        loaded = load_result(path)
+        assert loaded.trace.wall_phase_totals() == totals
+        assert loaded.trace.wall_phases == run_result.trace.wall_phases
+
+    def test_v1_record_still_loads(self, run_result):
+        # Downgrade a v2 dict to the v1 shape by hand: bare-list trace,
+        # arrival-ordered slave seconds, no measured wall fields.
+        data = result_to_dict(run_result)
+        data["format_version"] = 1
+        data["trace"] = data["trace"]["events"]
+        for rnd in data["rounds"]:
+            rnd["slave_virtual_seconds"] = list(
+                rnd["slave_virtual_seconds"].values()
+            )
+            del rnd["phase_wall_seconds"]
+            del rnd["gather_idle_s"]
+        loaded = result_from_dict(data)
+        assert loaded.best == run_result.best
+        assert len(loaded.trace.events) == len(run_result.trace.events)
+        assert loaded.trace.wall_phases == []
+        first = loaded.rounds[0]
+        # v1 lists become index-keyed dicts; measured fields default empty.
+        assert set(first.slave_virtual_seconds) == set(
+            range(len(first.slave_virtual_seconds))
+        )
+        assert first.phase_wall_seconds == {}
+        assert first.gather_idle_s == {}
+
+
+class TestBestValueAt:
+    @staticmethod
+    def _result(value_history):
+        x = np.zeros(4, dtype=np.int8)
+        x[0] = 1
+        from repro.core.solution import Solution
+        from repro.master.result import ParallelRunResult, RoundStats
+
+        rounds = [
+            RoundStats(
+                round_index=i,
+                best_value=10.0 + i,
+                round_virtual_seconds=1.0,
+                slave_virtual_seconds={0: 1.0},
+                communication_seconds=0.0,
+                evaluations=100,
+                improved_slaves=1,
+            )
+            for i in range(3)
+        ]
+        return ParallelRunResult(
+            variant="CTS2",
+            best=Solution(x, 12.0),
+            rounds=rounds,
+            total_evaluations=300,
+            virtual_seconds=3.0,
+            wall_seconds=0.1,
+            n_slaves=1,
+            value_history=value_history,
+        )
+
+    def test_before_first_round_returns_initial_incumbent(self):
+        # Regression (ISSUE satellite 4): the pre-first-round value is the
+        # initial incumbent, not -inf and not round 0's (future) best.
+        result = self._result([7.0, 10.0, 11.0, 12.0])
+        assert result.best_value_at(0.0) == 7.0
+        assert result.best_value_at(0.5) == 7.0
+        assert result.best_value_at(-1.0) == 7.0
+
+    def test_after_rounds_accumulate(self):
+        result = self._result([7.0, 10.0, 11.0, 12.0])
+        assert result.best_value_at(1.0) == 10.0
+        assert result.best_value_at(2.5) == 11.0
+        assert result.best_value_at(99.0) == 12.0
+
+    def test_fallback_without_value_history(self):
+        result = self._result([])
+        assert result.best_value_at(0.0) == 10.0
 
 
 class TestConvergence:
