@@ -9,7 +9,14 @@ Commands
 ``suite``     list the registered benchmark instances.
 ``info``      show instance statistics (size, tightness, LP bound, greedy).
 ``trace``     summarize a recorded run — a saved result JSON or a JSONL
-              event stream from ``solve --record`` — without re-searching.
+              event stream from ``solve --record`` — without re-searching;
+              ``--follow`` tails a stream that is still being written.
+``serve``     run the local solver service (DESIGN.md §5.6): a warm backend
+              pool behind an async job manager, spoken to over local TCP.
+``submit``    submit a solve job to a running service (``--stream`` follows
+              its live round events).
+``status``    one job's snapshot (or ``--stream`` its remaining events).
+``cancel``    request cooperative cancellation of a job.
 
 Examples
 --------
@@ -22,6 +29,10 @@ Examples
     python -m repro exact FP23
     python -m repro generate 10 250 --correlated --out hard.txt
     python -m repro info MK3
+    python -m repro serve --pool 2 --slaves 8 &
+    python -m repro submit GK07 --rounds 8 --evals 40000 --stream
+    python -m repro status job-000001
+    python -m repro cancel job-000001
 """
 
 from __future__ import annotations
@@ -134,6 +145,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay a JSONL stream into Prometheus-style metrics text",
     )
+    trace.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a live JSONL stream (like tail -f), printing events as "
+        "they arrive until the run ends",
+    )
+    trace.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --follow: give up after S seconds without new events",
+    )
+
+    def add_endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="service host")
+        p.add_argument(
+            "--port", type=int, default=None, help="service port (default 7621)"
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the local solver service (warm pool + job manager)"
+    )
+    add_endpoint(serve)
+    serve.add_argument("--pool", type=int, default=2, help="number of pooled backends")
+    serve.add_argument("--slaves", type=int, default=8, help="slaves per backend")
+    serve.add_argument(
+        "--backend",
+        choices=["serial", "mp"],
+        default="serial",
+        help="backend kind for every pool slot",
+    )
+    serve.add_argument(
+        "--mp-context",
+        default="fork",
+        help="multiprocessing start method for --backend mp",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission control: reject submits beyond this backlog",
+    )
+
+    submit = sub.add_parser("submit", help="submit a solve job to a running service")
+    submit.add_argument("instance", help="registry name or file path")
+    add_endpoint(submit)
+    submit.add_argument("--variant", choices=["its", "cts1", "cts2"], default="cts2")
+    submit.add_argument("--rounds", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=0)
+    sgroup = submit.add_mutually_exclusive_group()
+    sgroup.add_argument("--evals", type=int, help="per-processor evaluation budget")
+    sgroup.add_argument(
+        "--seconds", type=float, help="per-processor simulated-seconds budget"
+    )
+    submit.add_argument(
+        "--stream", action="store_true", help="follow the job's live events"
+    )
+
+    status = sub.add_parser("status", help="show one service job's snapshot")
+    status.add_argument("job_id")
+    add_endpoint(status)
+    status.add_argument(
+        "--stream", action="store_true", help="follow the job's remaining events"
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a service job cooperatively")
+    cancel.add_argument("job_id")
+    add_endpoint(cancel)
 
     return parser
 
@@ -259,15 +339,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_event_line(event: dict) -> str:
+    """One observability event -> one compact console line.
+
+    Shared by ``trace --follow`` and ``submit/status --stream`` so a tailed
+    file and a streamed service job read identically.
+    """
+    kind = event.get("event", "?")
+    t = event.get("t", 0.0)
+    if kind == "run_start":
+        detail = (
+            f"{event.get('variant', '?')} on {event.get('instance') or '?'} "
+            f"({event.get('instance_size', '?')}), "
+            f"P={event.get('n_slaves', '?')}, rounds={event.get('n_rounds', '?')}"
+        )
+    elif kind == "round_end":
+        detail = (
+            f"round {event.get('round_index', '?')}: "
+            f"best={event.get('best_value', 0):,.0f} "
+            f"evals={event.get('evaluations', 0):,} "
+            f"reports={event.get('n_reports', '?')}"
+        )
+    elif kind == "run_end":
+        detail = (
+            f"best={event.get('best_value', 0):,.0f} "
+            f"evals={event.get('total_evaluations', 0):,} "
+            f"rounds={event.get('n_rounds', '?')} "
+            f"wall={event.get('wall_seconds', 0):.3f}s"
+        )
+    elif kind == "faults":
+        detail = (
+            f"round {event.get('round_index', '?')}: "
+            f"failed={event.get('failed_slaves', 0)} "
+            f"backoff={event.get('backoff_slaves', 0)} "
+            f"dup={event.get('duplicate_reports', 0)} "
+            f"stale={event.get('stale_reports', 0)}"
+        )
+    else:
+        # Low-signal event types (telemetry, isp/sgp tallies) get a terse
+        # marker; the summary at the end aggregates them anyway.
+        detail = f"round {event['round_index']}" if "round_index" in event else ""
+    return f"{t:9.3f}s  {kind:<15} {detail}".rstrip()
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from .analysis import load_result, render_run_summary, summarize_result
-    from .obs import read_stream, replay_metrics, summarize_stream, validate_stream
+    from .obs import (
+        follow_stream,
+        read_stream,
+        replay_metrics,
+        summarize_stream,
+        validate_stream,
+    )
 
     path = Path(args.file)
     if not path.exists():
         raise SystemExit(f"error: no such file: {args.file}")
+    if args.follow:
+        if args.validate or args.prometheus:
+            raise SystemExit("error: --follow excludes --validate/--prometheus")
+        events = []
+        try:
+            for event in follow_stream(path, idle_timeout_s=args.idle_timeout):
+                events.append(event)
+                print(_render_event_line(event), flush=True)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        if not events:
+            raise SystemExit(f"error: {args.file} contains no events")
+        print()
+        if events[-1].get("event") == "run_end":
+            print(render_run_summary(summarize_stream(events)))
+        else:
+            print(f"stream still open after {len(events)} events (no run_end)")
+        return 0
     text = path.read_text(encoding="utf-8")
     try:
         whole = json.loads(text)
@@ -304,6 +451,143 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _endpoint(args: argparse.Namespace) -> tuple[str, int]:
+    from .service import DEFAULT_PORT
+
+    return args.host, args.port if args.port is not None else DEFAULT_PORT
+
+
+def _service_request(host: str, port: int, payload: dict) -> dict:
+    from .service import request
+
+    try:
+        return request(host, port, payload)
+    except ConnectionError as exc:
+        raise SystemExit(
+            f"error: cannot reach service at {host}:{port} "
+            f"(is `repro serve` running?): {exc}"
+        ) from exc
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _render_status(status: dict) -> str:
+    parts = [
+        f"{status['job_id']}: {status['state']}",
+        f"variant={status['variant']}",
+        f"rounds={status['rounds_completed']}/{status['n_rounds']}",
+    ]
+    if status.get("instance"):
+        parts.insert(2, f"instance={status['instance']}")
+    if status.get("best_value") is not None:
+        parts.append(f"best={status['best_value']:,.0f}")
+    if status.get("cancel_requested"):
+        parts.append("cancel-requested")
+    if status.get("error"):
+        parts.append(f"error={status['error']}")
+    return "  ".join(parts)
+
+
+def _stream_job(host: str, port: int, job_id: str) -> dict | None:
+    """Print a job's live events, then its final status; returns the status."""
+    from .service import stream_events
+
+    final: dict | None = None
+    for item in stream_events(host, port, job_id):
+        if item.get("kind") == "end":
+            final = item["status"]
+            break
+        print(_render_event_line(item), flush=True)
+    if final is not None:
+        print(_render_status(final))
+    return final
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import JobManager, ServiceServer, SolverPool
+
+    host, port = _endpoint(args)
+
+    async def _serve() -> None:
+        if args.backend == "mp":
+            pool = SolverPool.multiprocessing(
+                args.pool, args.slaves, mp_context=args.mp_context
+            )
+        else:
+            pool = SolverPool.serial(args.pool, args.slaves)
+        manager = JobManager(pool, max_pending=args.max_pending)
+        server = ServiceServer(
+            manager, host=host, port=port, instance_loader=_load_instance
+        )
+        bound_host, bound_port = await server.start()
+        print(
+            f"serving {args.pool} x {args.slaves}-slave {args.backend} backends "
+            f"on {bound_host}:{bound_port}",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    host, port = _endpoint(args)
+    # Resolve the spec client-side: errors surface here, not in the server
+    # log, and the job is correct even if the server runs in another cwd.
+    instance = _load_instance(args.instance)
+    response = _service_request(
+        host,
+        port,
+        {
+            "op": "submit",
+            "instance": {
+                "name": instance.name or args.instance,
+                "profits": instance.profits.tolist(),
+                "weights": instance.weights.tolist(),
+                "capacities": instance.capacities.tolist(),
+            },
+            "variant": args.variant,
+            "rounds": args.rounds,
+            "seed": args.seed,
+            "evals": args.evals,
+            "seconds": args.seconds,
+        },
+    )
+    job_id = response["job_id"]
+    print(job_id)
+    if args.stream:
+        final = _stream_job(host, port, job_id)
+        if final is not None and final["state"] == "failed":
+            return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    host, port = _endpoint(args)
+    if args.stream:
+        final = _stream_job(host, port, args.job_id)
+        return 1 if final is not None and final["state"] == "failed" else 0
+    response = _service_request(host, port, {"op": "status", "job_id": args.job_id})
+    print(_render_status(response["status"]))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    host, port = _endpoint(args)
+    response = _service_request(host, port, {"op": "cancel", "job_id": args.job_id})
+    if response["cancelled"]:
+        print(f"{args.job_id}: cancellation requested")
+        return 0
+    print(f"{args.job_id}: already finished")
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -314,6 +598,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
     }
     return handlers[args.command](args)
 

@@ -38,7 +38,7 @@ from .tabu_search import (
     TabuSearchConfig,
     TSResult,
 )
-from .termination import Budget
+from .termination import Budget, CancelToken
 
 __all__ = [
     "MKPInstance",
@@ -77,4 +77,5 @@ __all__ = [
     "TabuSearchConfig",
     "TSResult",
     "Budget",
+    "CancelToken",
 ]

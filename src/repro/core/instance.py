@@ -62,6 +62,7 @@ class MKPInstance:
     _density: np.ndarray | None = field(default=None, repr=False, compare=False)
     _tightness: np.ndarray | None = field(default=None, repr=False, compare=False)
     _hot: "HotTables | None" = field(default=None, repr=False, compare=False)
+    _content_hash: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         weights = np.ascontiguousarray(self.weights, dtype=np.float64)
@@ -165,6 +166,31 @@ class MKPInstance:
                 self, "_hot", HotTables.build(self.weights, self.capacities, self.profits)
             )
         return self._hot
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the problem *data* (not the metadata).
+
+        Two instances with equal ``profits``/``weights``/``capacities``
+        hash identically regardless of ``name``/``optimum``/``best_known``
+        — the key the service layer's
+        :class:`~repro.service.cache.InstanceCache` uses to share one
+        canonical instance (and its cached :class:`~repro.core.bitset.HotTables`)
+        across concurrent jobs.  The digest covers the array shapes as well
+        as their bytes, so a ``(2, 6)`` and a ``(3, 4)`` weights matrix
+        with the same flat contents do not collide.  Arrays are already
+        contiguous float64 (``__post_init__`` canonicalizes), making the
+        byte view deterministic across processes and platforms of equal
+        endianness.
+        """
+        if self._content_hash is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for array in (self.profits, self.weights, self.capacities):
+                digest.update(str(array.shape).encode())
+                digest.update(array.tobytes())
+            object.__setattr__(self, "_content_hash", digest.hexdigest())
+        return self._content_hash
 
     # ------------------------------------------------------------------ #
     # Feasibility / objective helpers (non-incremental reference versions)

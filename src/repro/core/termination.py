@@ -11,10 +11,39 @@ wall-clock ``deadline`` for the real multiprocessing backend.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Budget"]
+__all__ = ["Budget", "CancelToken"]
+
+
+class CancelToken:
+    """Cooperative, thread-safe cancellation flag for a master-driven run.
+
+    The service layer (``repro.service``) hands one token per job to the
+    :class:`~repro.master.master.MasterProcess`, which checks it at every
+    round boundary — between ``run_round`` calls, never inside one — so a
+    cancelled run always leaves its backend in the clean between-rounds
+    state a new job can lease immediately.  ``cancel()`` may be called from
+    any thread (the job manager's event loop lives in a different thread
+    than the blocking solve).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CancelToken(cancelled={self.cancelled})"
 
 
 @dataclass

@@ -40,7 +40,7 @@ from ..core.instance import MKPInstance
 from ..core.solution import Solution
 from ..core.strategy import StrategyBounds
 from ..core.tabu_search import TabuSearchConfig
-from ..core.termination import Budget
+from ..core.termination import Budget, CancelToken
 from ..farm.clock import VirtualClock
 from ..farm.machine import FarmModel
 from ..farm.trace import EventKind, FarmTrace
@@ -112,6 +112,7 @@ class MasterProcess:
         farm: FarmModel | None = None,
         variant_name: str | None = None,
         recorder: RunRecorder | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
         if backend.n_slaves != config.n_slaves:
             raise ValueError(
@@ -137,6 +138,13 @@ class MasterProcess:
         #: structured observability sink; the disabled default is a no-op,
         #: so recording is strictly opt-in and costs nothing otherwise
         self.recorder = recorder if recorder is not None else RunRecorder.disabled()
+        #: cooperative cancellation, checked at every round boundary; the
+        #: run ends early with the rounds completed so far and the backend
+        #: left in its clean between-rounds state (service leasing relies
+        #: on this — a cancelled job's backend is immediately reusable)
+        self.cancel = cancel
+        #: whether the last :meth:`run` ended early on a cancel request
+        self.was_cancelled = False
         self._phase_trace: list[str] | None = None
 
     # ------------------------------------------------------------------ #
@@ -198,7 +206,12 @@ class MasterProcess:
         resume_round = [0] * cfg.n_slaves
         fault_summary: Counter[str] = Counter()
 
+        self.was_cancelled = False
         for round_idx in range(cfg.n_rounds):
+            # --- cooperative cancel: only ever between rounds -----------
+            if self.cancel is not None and self.cancel.cancelled:
+                self.was_cancelled = True
+                break
             # --- Fig. 2: Call SGP and ISP, send, receive ----------------
             round_budget = (
                 None

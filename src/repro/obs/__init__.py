@@ -22,7 +22,13 @@ renders a recorded run without re-searching.
 """
 
 from .metrics import MetricsRegistry
-from .recorder import RunRecorder, read_stream, replay_metrics, summarize_stream
+from .recorder import (
+    RunRecorder,
+    follow_stream,
+    read_stream,
+    replay_metrics,
+    summarize_stream,
+)
 from .schema import EVENT_SCHEMAS, validate_event, validate_stream
 from .telemetry import RoundTelemetry, collect_round_telemetry
 
@@ -30,6 +36,7 @@ __all__ = [
     "RoundTelemetry",
     "collect_round_telemetry",
     "RunRecorder",
+    "follow_stream",
     "read_stream",
     "replay_metrics",
     "summarize_stream",

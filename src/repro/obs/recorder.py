@@ -10,6 +10,13 @@ The disabled recorder (:meth:`RunRecorder.disabled`, the master's default)
 short-circuits at the top of :meth:`emit`; the round loop pays one
 attribute load and a falsy check per event, which
 ``benchmarks/bench_round_overhead.py`` bounds at well under 1% of a round.
+
+Live consumers (DESIGN.md §5.6): :meth:`RunRecorder.subscribe` registers a
+callback invoked synchronously with every emitted record — the service
+layer's ``stream`` endpoint rides on this fan-out instead of polling the
+JSONL file — and :func:`follow_stream` tails a JSONL file that is still
+being written (``repro trace --follow``), sharing one line reader with
+:func:`read_stream`.
 """
 
 from __future__ import annotations
@@ -19,12 +26,28 @@ import platform
 import time
 from collections import Counter, defaultdict
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable, Iterator
 
 from .metrics import MetricsRegistry
 from .telemetry import RoundTelemetry
 
-__all__ = ["RunRecorder", "read_stream", "replay_metrics", "summarize_stream"]
+__all__ = [
+    "RunRecorder",
+    "follow_stream",
+    "read_stream",
+    "replay_metrics",
+    "summarize_stream",
+]
+
+#: Event types that terminate a stream — a follower may stop tailing once
+#: one arrives, because the recorder emits nothing after them.
+TERMINAL_EVENTS = frozenset({"run_end"})
+
+
+def _parse_line(line: str) -> dict | None:
+    """One JSONL line -> event dict (``None`` for blank lines)."""
+    line = line.strip()
+    return json.loads(line) if line else None
 
 
 def package_versions() -> dict[str, str]:
@@ -57,6 +80,7 @@ class RunRecorder:
         self._sink: IO[str] | None = None
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._subscribers: list[Callable[[dict], None]] = []
 
     @classmethod
     def disabled(cls) -> "RunRecorder":
@@ -85,6 +109,36 @@ class RunRecorder:
                 self._sink = self._path.open("w", encoding="utf-8")
             self._sink.write(json.dumps(record) + "\n")
             self._sink.flush()
+        if self._subscribers:
+            # Iterate a snapshot: a subscriber may unsubscribe from within
+            # its own callback.  A subscriber that raises is dropped rather
+            # than allowed to kill the solve it is merely observing (e.g. a
+            # stream consumer whose event loop already shut down).
+            for fn in list(self._subscribers):
+                try:
+                    fn(record)
+                except Exception:
+                    self.unsubscribe(fn)
+
+    # ------------------------------------------------------------------ #
+    # Live fan-out
+    # ------------------------------------------------------------------ #
+    def subscribe(self, fn: Callable[[dict], None]) -> Callable[[dict], None]:
+        """Register ``fn`` to receive every future record; returns ``fn``.
+
+        Callbacks run synchronously on the emitting (solver) thread — keep
+        them cheap and thread-safe (the service layer just enqueues onto an
+        asyncio loop via ``call_soon_threadsafe``).
+        """
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[dict], None]) -> None:
+        """Remove a subscriber; unknown callbacks are ignored."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
 
     def close(self) -> None:
         if self._sink is not None:
@@ -253,10 +307,62 @@ def read_stream(path: str | Path) -> list[dict]:
     events = []
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            event = _parse_line(line)
+            if event is not None:
+                events.append(event)
     return events
+
+
+def follow_stream(
+    path: str | Path,
+    *,
+    poll_s: float = 0.1,
+    idle_timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[dict]:
+    """Tail a live JSONL event stream, yielding events as they are written.
+
+    Reads to the current end of file, then keeps polling for appended
+    lines (the classic ``tail -f`` loop — portable, no inotify needed)
+    until one of:
+
+    * a terminal event (``run_end``) is yielded — the recorder writes
+      nothing after it, so the stream is complete;
+    * ``idle_timeout_s`` elapses with no new data (``None`` = wait forever);
+    * ``stop()`` returns true (cooperative interruption for tests/services).
+
+    A partially-written trailing line (the writer flushes whole lines, but
+    the reader can race the OS buffer) is held back until its newline
+    arrives.  ``repro trace --follow`` and the service's file-based status
+    path share this one reader.
+    """
+    path = Path(path)
+    buffer = ""
+    last_data = time.monotonic()
+    with path.open(encoding="utf-8") as fh:
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    continue  # incomplete line: wait for the rest
+                event = _parse_line(buffer)
+                buffer = ""
+                last_data = time.monotonic()
+                if event is None:
+                    continue
+                yield event
+                if event.get("event") in TERMINAL_EVENTS:
+                    return
+                continue
+            if stop is not None and stop():
+                return
+            if (
+                idle_timeout_s is not None
+                and time.monotonic() - last_data >= idle_timeout_s
+            ):
+                return
+            time.sleep(poll_s)
 
 
 def replay_metrics(events: Iterable[dict]) -> MetricsRegistry:

@@ -30,6 +30,15 @@ of reconstructing kernels and tabu structures per round.  Trajectories are
 bit-identical either way (``tests/test_runtime.py``); the flag exists so
 benchmarks can A/B the cold path.
 
+Service leasing (DESIGN.md §5.6): backends may outlive a single run.
+``start()`` on an already-started backend never respawns — the same problem
+(by :meth:`~repro.core.instance.MKPInstance.content_hash`) is a no-op that
+keeps the warm arenas, a different problem rebinds live workers in place
+(serial: rebuilt runtimes; multiprocessing: one ``REBIND_TAG`` message per
+worker) — and ``shutdown()`` is idempotent, so a
+:class:`~repro.service.SolverPool` can lease one backend to many
+consecutive jobs with trajectories bit-identical to cold backends.
+
 Gather (multiprocessing): a single ``multiprocessing.connection.wait()``
 event loop with one round deadline replaces the old rank-ordered
 ``recv(timeout)`` chain.  Reports are consumed in arrival order (the return
@@ -69,7 +78,7 @@ from ..core.tabu_search import TabuSearchConfig
 from ..obs.telemetry import RoundTelemetry
 from .comm import InProcComm, MessageRouter, PipeComm
 from .faults import ChaosComm, FaultPlan
-from .message import RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
+from .message import REBIND_TAG, RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
 from .runtime import SlaveRuntime
 from .slave import execute_task
 
@@ -108,6 +117,26 @@ def _validate_round(tasks: Sequence[SlaveTask | None], n_slaves: int) -> None:
 
 def _round_index_of(tasks: Sequence[SlaveTask | None]) -> int:
     return next((t.round_index for t in tasks if t is not None), -1)
+
+
+def _same_problem(
+    bound_instance: MKPInstance,
+    bound_config: TabuSearchConfig | None,
+    instance: MKPInstance,
+    config: TabuSearchConfig,
+) -> bool:
+    """Whether a live backend's bound problem matches a ``start()`` request.
+
+    Instance comparison is by identity first (the common warm-lease case —
+    the :class:`~repro.service.cache.InstanceCache` hands out one canonical
+    object) and by content hash otherwise; the structural config compares
+    by value (plain dataclass equality — it carries no arrays).
+    """
+    if bound_config != config:
+        return False
+    if bound_instance is instance:
+        return True
+    return bound_instance.content_hash() == instance.content_hash()
 
 
 class SerialBackend:
@@ -149,6 +178,11 @@ class SerialBackend:
         self._instance: MKPInstance | None = None
         self._config: TabuSearchConfig | None = None
         self._runtimes: list[SlaveRuntime] = []
+        #: ``start()`` calls that found live warm state already bound to the
+        #: same problem and kept it (DESIGN.md §5.6 — the warm-lease path)
+        self.warm_reuses = 0
+        #: ``start()`` calls that rebound live state to a *different* problem
+        self.rebinds = 0
         #: per-round message sizes by slave id, for the farm's scatter/gather model
         self.last_task_nbytes: dict[int, int] = {}
         self.last_report_nbytes: dict[int, int] = {}
@@ -168,6 +202,24 @@ class SerialBackend:
         self.last_telemetry: RoundTelemetry | None = None
 
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        """Bind the backend to a problem; idempotent on a live backend.
+
+        Re-``start()``-ing an already-started backend on the same problem
+        data (by :meth:`~repro.core.instance.MKPInstance.content_hash`) and
+        config keeps the warm runtimes — this is how a leased backend
+        serves many jobs without re-paying arena construction.  A different
+        problem rebuilds the runtimes in place.  Either way the resulting
+        trajectories are bit-identical to a cold backend (every task rebinds
+        the arena before running; ``tests/test_service.py`` pins this).
+        """
+        if (
+            self._instance is not None
+            and _same_problem(self._instance, self._config, instance, config)
+        ):
+            self.warm_reuses += 1
+            return
+        if self._instance is not None:
+            self.rebinds += 1
         self._instance = instance
         self._config = config
         self._runtimes = (
@@ -262,7 +314,15 @@ class SerialBackend:
         return reports
 
     def shutdown(self) -> None:
-        """Nothing to release for the in-process backend."""
+        """Release the warm runtimes; idempotent, and ``start()`` revives.
+
+        Safe to call any number of times (including before ``start()``);
+        after a shutdown the backend is simply unbound and a later
+        ``start()`` rebuilds it from scratch.
+        """
+        self._runtimes = []
+        self._instance = None
+        self._config = None
 
     def __enter__(self) -> "SerialBackend":
         return self
@@ -304,6 +364,15 @@ def _worker_main(
             tag, _nbytes, obj = conn.recv()
             if tag == STOP_TAG:
                 return
+            if tag == REBIND_TAG:
+                # The backend was re-started on a new problem: rebuild the
+                # warm arena here, once, in place of a process respawn.
+                # Pipe ordering guarantees every later task sees the new
+                # instance, so this needs no acknowledgement round-trip.
+                instance, config = obj
+                if runtime is not None:
+                    runtime = SlaveRuntime(instance, config, slave_id=slave_id)
+                continue
             if tag != TASK_TAG:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"worker {slave_id}: unexpected tag {tag}")
             task: SlaveTask = obj
@@ -377,6 +446,10 @@ class MultiprocessingBackend:
         #: respawn count per slave id (the chaos suite asserts recovery)
         self.respawns: Counter[int] = Counter()
         self.fault_counters: Counter[str] = Counter()
+        #: ``start()`` calls served by live workers with no reship needed
+        self.warm_reuses = 0
+        #: ``start()`` calls that rebound live workers to a new problem
+        self.rebinds = 0
         #: wall-clock split of the last round; on this backend ``compute``
         #: is the latency to the *first* report (the fastest slave) and is
         #: contained in ``gather``, which runs to the last accepted report.
@@ -439,8 +512,34 @@ class MultiprocessingBackend:
 
     # ------------------------------------------------------------------ #
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        """Bind the workers to a problem; reuses live workers when possible.
+
+        On a cold backend this spawns the worker fleet (problem data crosses
+        the process boundary once, at spawn).  On an already-started backend
+        it *never* respawns: the same problem (by content hash) and config is
+        a no-op — the workers' warm arenas stay valid — and a different
+        problem ships one :data:`~repro.parallel.message.REBIND_TAG` message
+        per live worker, which rebuilds its ``SlaveRuntime`` in place.  Dead
+        workers are left to the round loop's lazy respawn, which picks up the
+        new problem from the updated backend fields.
+        """
         if self._procs:
-            raise RuntimeError("backend already started")
+            if _same_problem(self._instance, self._config, instance, config):
+                self.warm_reuses += 1
+                return
+            self.rebinds += 1
+            self._instance = instance
+            self._config = config
+            for k in range(self.n_slaves):
+                comm = self._comms[k]
+                proc = self._procs[k]
+                if comm is None or comm.closed or proc is None or not proc.is_alive():
+                    continue  # lazily respawned (with the new problem) on use
+                try:
+                    comm.send((instance, config), tag=REBIND_TAG)
+                except (BrokenPipeError, OSError):
+                    self._bury(k)
+            return
         self._instance = instance
         self._config = config
         self._procs = [None] * self.n_slaves
@@ -580,7 +679,14 @@ class MultiprocessingBackend:
         budget of a single ``shutdown_timeout_s`` window — P hung workers
         cost the deadline once, not ``P × 10`` seconds of sequential joins.
         Whoever is still alive afterwards is terminated.
+
+        Idempotent by contract (``tests/test_backends.py`` pins it): calling
+        it twice, before ``start()``, or after workers already died/were
+        buried is a no-op beyond releasing whatever is still held, and a
+        later ``start()`` spawns a fresh fleet.
         """
+        if not self._procs and not self._comms:
+            return
         for comm in self._comms:
             if comm is None or comm.closed:
                 continue

@@ -31,6 +31,10 @@ __all__ = ["SlaveTask", "SlaveReport", "payload_nbytes", "PROBLEM_TAG", "RESULT_
 PROBLEM_TAG = 0
 TASK_TAG = 1
 RESULT_TAG = 2
+#: Carries a fresh ``(instance, config)`` pair to a live worker so a
+#: long-lived backend can be re-``start()``-ed on a new problem without
+#: respawning its processes (DESIGN.md §5.6 service leasing).
+REBIND_TAG = 3
 STOP_TAG = 99
 
 

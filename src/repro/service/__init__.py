@@ -1,0 +1,51 @@
+"""Solver-as-a-service: an async job layer over shared warm worker pools.
+
+DESIGN.md §5.6.  Inverts the ownership model of the paper's farm — backends
+outlive runs instead of runs owning backends:
+
+:mod:`~repro.service.cache`
+    :class:`InstanceCache` — one canonical
+    :class:`~repro.core.instance.MKPInstance` per content hash, hot tables
+    built once and shared by every job on that problem.
+
+:mod:`~repro.service.pool`
+    :class:`SolverPool` — long-lived
+    :class:`~repro.parallel.backends.Backend` instances leased to one job
+    at a time with same-instance affinity; warm workers are rebound in
+    place (never respawned) between jobs.
+
+:mod:`~repro.service.jobs`
+    :class:`JobManager` — asyncio submit / status / stream / cancel;
+    blocking solves run in executor threads, live round events fan out from
+    the :class:`~repro.obs.recorder.RunRecorder` subscriber hook, and
+    cancellation is cooperative at round boundaries.
+
+:mod:`~repro.service.server`
+    :class:`ServiceServer` — the line-JSON TCP transport behind
+    ``repro serve``/``submit``/``status``/``cancel``.
+
+Job trajectories are bit-identical to the direct blocking API for the same
+seed and config — the service layer multiplexes and amortizes, it never
+perturbs the search.
+"""
+
+from .cache import InstanceCache
+from .jobs import JobManager, JobRequest, JobState, JobStatus
+from .pool import BackendLease, LeaseCancelled, PoolSlot, SolverPool
+from .server import DEFAULT_PORT, ServiceServer, request, stream_events
+
+__all__ = [
+    "InstanceCache",
+    "JobManager",
+    "JobRequest",
+    "JobState",
+    "JobStatus",
+    "BackendLease",
+    "LeaseCancelled",
+    "PoolSlot",
+    "SolverPool",
+    "ServiceServer",
+    "DEFAULT_PORT",
+    "request",
+    "stream_events",
+]

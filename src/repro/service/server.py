@@ -1,0 +1,221 @@
+"""Local solver service: line-delimited JSON over TCP.
+
+Dependency-free transport for ``repro serve`` / ``submit`` / ``status`` /
+``cancel``: one JSON request object per line, one JSON response line back
+(plus, for ``stream``, one line per observability event).  The protocol is
+deliberately dumb — the interesting machinery (leasing, cancellation,
+fan-out) all lives in :class:`~repro.service.jobs.JobManager`; this module
+only parses requests and renders responses.
+
+Request ops::
+
+    {"op": "ping"}
+    {"op": "submit", "instance": <spec>, "variant": "cts2", "rounds": 8,
+     "evals": 20000, "seconds": null, "seed": 0}
+    {"op": "status", "job_id": "job-000001"}
+    {"op": "stream", "job_id": "job-000001"}       # multi-line response
+    {"op": "cancel", "job_id": "job-000001"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``instance`` is either a string (registry name or file path, resolved by
+the server's loader) or an inline object with ``profits``/``weights``/
+``capacities`` lists.  Every response carries ``"ok": true`` or
+``"ok": false`` with an ``"error"`` message.  The ``stream`` response is a
+sequence of ``{"ok": true, "kind": "event", ...}`` lines closed by one
+``{"ok": true, "kind": "end", "status": {...}}`` line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Callable, Iterator
+
+from ..core.instance import MKPInstance
+from .jobs import JobManager, JobRequest
+
+__all__ = ["DEFAULT_PORT", "ServiceServer", "request", "stream_events"]
+
+#: Default port for ``repro serve`` and the client subcommands.
+DEFAULT_PORT = 7621
+
+#: Loader turning an instance spec string into an instance (the CLI wires
+#: its registry/file resolver in here).
+InstanceLoader = Callable[[str], MKPInstance]
+
+
+def _parse_instance(spec: object, loader: InstanceLoader | None) -> MKPInstance:
+    if isinstance(spec, dict):
+        return MKPInstance.from_lists(
+            weights=spec["weights"],
+            capacities=spec["capacities"],
+            profits=spec["profits"],
+            name=str(spec.get("name", "inline")),
+        )
+    if isinstance(spec, str):
+        if loader is None:
+            raise ValueError("server has no instance loader; send inline data")
+        return loader(spec)
+    raise ValueError("instance must be a spec string or an inline object")
+
+
+class ServiceServer:
+    """Serve one :class:`~repro.service.jobs.JobManager` over local TCP."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        instance_loader: InstanceLoader | None = None,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.instance_loader = instance_loader
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request arrives, then close the manager."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        await self.manager.close()
+
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                payload = json.loads(line)
+                await self._dispatch(payload, writer)
+            except Exception as exc:  # malformed request or handler error
+                await self._write(writer, {"ok": False, "error": str(exc)})
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, payload: dict, writer: asyncio.StreamWriter) -> None:
+        op = payload.get("op")
+        if op == "ping":
+            await self._write(writer, {"ok": True, "pong": True})
+        elif op == "submit":
+            instance = _parse_instance(payload.get("instance"), self.instance_loader)
+            job_request = JobRequest(
+                instance=instance,
+                variant=str(payload.get("variant", "cts2")),
+                n_rounds=int(payload.get("rounds", 8)),
+                rng_seed=int(payload.get("seed", 0)),
+                max_evaluations=(
+                    int(payload["evals"]) if payload.get("evals") is not None else None
+                ),
+                virtual_seconds=(
+                    float(payload["seconds"])
+                    if payload.get("seconds") is not None
+                    else None
+                ),
+            )
+            job_id = self.manager.submit(job_request)
+            await self._write(writer, {"ok": True, "job_id": job_id})
+        elif op == "status":
+            status = self.manager.status(str(payload["job_id"]))
+            await self._write(writer, {"ok": True, "status": status.to_dict()})
+        elif op == "cancel":
+            cancelled = await self.manager.cancel(str(payload["job_id"]))
+            await self._write(writer, {"ok": True, "cancelled": cancelled})
+        elif op == "stream":
+            job_id = str(payload["job_id"])
+            self.manager.status(job_id)  # raise early on unknown id
+            async for event in self.manager.stream(job_id):
+                await self._write(writer, {"ok": True, "kind": "event", "data": event})
+            await self._write(
+                writer,
+                {
+                    "ok": True,
+                    "kind": "end",
+                    "status": self.manager.status(job_id).to_dict(),
+                },
+            )
+        elif op == "stats":
+            await self._write(
+                writer,
+                {
+                    "ok": True,
+                    "pool": {
+                        "size": self.manager.pool.size,
+                        "free": self.manager.pool.free,
+                        "n_slaves": self.manager.pool.n_slaves,
+                        "leases": self.manager.pool.leases,
+                        "affinity_hits": self.manager.pool.affinity_hits,
+                    },
+                    "cache": self.manager.cache.stats(),
+                    "jobs": len(self.manager.job_ids()),
+                },
+            )
+        elif op == "shutdown":
+            await self._write(writer, {"ok": True, "shutting_down": True})
+            self._shutdown.set()
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Blocking client helpers (the CLI side; no asyncio needed there)
+# ---------------------------------------------------------------------- #
+def request(host: str, port: int, payload: dict, *, timeout_s: float = 30.0) -> dict:
+    """One request/response round-trip; raises ``RuntimeError`` on error."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        with sock.makefile("r", encoding="utf-8") as fh:
+            line = fh.readline()
+    if not line:
+        raise RuntimeError("empty response from service")
+    response = json.loads(line)
+    if not response.get("ok"):
+        raise RuntimeError(response.get("error", "service error"))
+    return response
+
+
+def stream_events(
+    host: str, port: int, job_id: str, *, timeout_s: float = 600.0
+) -> Iterator[dict]:
+    """Yield a job's event records live; the final item is the end marker
+    ``{"kind": "end", "status": {...}}`` (all others are raw event dicts)."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(json.dumps({"op": "stream", "job_id": job_id}).encode() + b"\n")
+        with sock.makefile("r", encoding="utf-8") as fh:
+            for line in fh:
+                response = json.loads(line)
+                if not response.get("ok"):
+                    raise RuntimeError(response.get("error", "service error"))
+                if response.get("kind") == "end":
+                    yield {"kind": "end", "status": response["status"]}
+                    return
+                yield response["data"]

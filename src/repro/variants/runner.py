@@ -23,7 +23,7 @@ from ..core.construction import random_solution
 from ..core.instance import MKPInstance
 from ..core.strategy import StrategyBounds
 from ..core.tabu_search import TabuSearch, TabuSearchConfig
-from ..core.termination import Budget
+from ..core.termination import Budget, CancelToken
 from ..farm.machine import ALPHA_FARM, FarmModel
 from ..farm.trace import EventKind, FarmTrace
 from ..master.master import MasterConfig, MasterProcess
@@ -152,6 +152,7 @@ def _solve_master_variant(
     target_value: float | None = None,
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
+    cancel: CancelToken | None = None,
 ) -> ParallelRunResult:
     budget = _resolve_budget(
         instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
@@ -175,6 +176,7 @@ def _solve_master_variant(
             farm=farm,
             variant_name=variant_name,
             recorder=recorder,
+            cancel=cancel,
         )
         return master.run(budget_per_slave=budget)
     finally:
@@ -196,6 +198,7 @@ def solve_its(
     target_value: float | None = None,
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
+    cancel: CancelToken | None = None,
 ) -> ParallelRunResult:
     """ITS — P independent threads, no communication, fixed strategies."""
     if master_config is not None:
@@ -217,6 +220,7 @@ def solve_its(
         target_value=target_value,
         wall_seconds=wall_seconds,
         recorder=recorder,
+        cancel=cancel,
     )
 
 
@@ -234,6 +238,7 @@ def solve_cts1(
     target_value: float | None = None,
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
+    cancel: CancelToken | None = None,
 ) -> ParallelRunResult:
     """CTS1 — cooperative threads (ISP pooling), fixed strategies."""
     if master_config is not None:
@@ -255,6 +260,7 @@ def solve_cts1(
         target_value=target_value,
         wall_seconds=wall_seconds,
         recorder=recorder,
+        cancel=cancel,
     )
 
 
@@ -272,6 +278,7 @@ def solve_cts2(
     target_value: float | None = None,
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
+    cancel: CancelToken | None = None,
 ) -> ParallelRunResult:
     """CTS2 — full cooperative parallel TS with dynamic strategy tuning."""
     if master_config is not None:
@@ -293,4 +300,5 @@ def solve_cts2(
         target_value=target_value,
         wall_seconds=wall_seconds,
         recorder=recorder,
+        cancel=cancel,
     )

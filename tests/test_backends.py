@@ -113,11 +113,14 @@ class TestMultiprocessingBackend:
             r2 = backend.run_round(make_tasks(small_instance, 2, evals=800))
             assert len(r1) == len(r2) == 2
 
-    def test_double_start_rejected(self, small_instance):
+    def test_double_start_is_warm_reuse(self, small_instance):
+        # start() on a live backend used to raise; the service lease model
+        # makes it a warm no-op for the same problem (see TestMultiprocessing-
+        # WarmLeasing for the rebind path).
         with MultiprocessingBackend(1) as backend:
             backend.start(small_instance, TabuSearchConfig(nb_div=100))
-            with pytest.raises(RuntimeError, match="already started"):
-                backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            assert backend.warm_reuses == 1
 
     def test_requires_start(self, small_instance):
         backend = MultiprocessingBackend(1)
@@ -159,3 +162,107 @@ class TestMultiprocessingBackend:
     def test_shutdown_timeout_validated(self):
         with pytest.raises(ValueError, match="shutdown_timeout_s"):
             MultiprocessingBackend(1, shutdown_timeout_s=0.0)
+
+
+def reports_values(reports):
+    return [(r.slave_id, r.best.value, r.evaluations) for r in reports]
+
+
+class TestSerialWarmLeasing:
+    def test_same_problem_restart_is_warm_noop(self, small_instance):
+        backend = SerialBackend(2)
+        config = TabuSearchConfig(nb_div=100)
+        backend.start(small_instance, config)
+        runtimes = list(backend._runtimes)
+        backend.start(small_instance, config)
+        assert backend.warm_reuses == 1
+        assert backend.rebinds == 0
+        # warm path keeps the exact runtime objects (arenas preserved)
+        assert all(a is b for a, b in zip(runtimes, backend._runtimes))
+
+    def test_rebind_matches_cold_backend(self, small_instance, medium_instance):
+        config = TabuSearchConfig(nb_div=100)
+        warm = SerialBackend(2)
+        warm.start(small_instance, config)
+        warm.run_round(make_tasks(small_instance, 2, evals=800))
+        warm.start(medium_instance, config)  # in-place rebind
+        assert warm.rebinds == 1
+        cold = SerialBackend(2)
+        cold.start(medium_instance, config)
+        warm_reports = warm.run_round(make_tasks(medium_instance, 2, evals=800))
+        cold_reports = cold.run_round(make_tasks(medium_instance, 2, evals=800))
+        assert reports_values(warm_reports) == reports_values(cold_reports)
+
+    def test_config_change_forces_rebind(self, small_instance):
+        backend = SerialBackend(2)
+        backend.start(small_instance, TabuSearchConfig(nb_div=100))
+        backend.start(small_instance, TabuSearchConfig(nb_div=50))
+        assert backend.warm_reuses == 0
+        assert backend.rebinds == 1
+
+    def test_shutdown_idempotent_and_revivable(self, small_instance):
+        config = TabuSearchConfig(nb_div=100)
+        backend = SerialBackend(2)
+        backend.start(small_instance, config)
+        backend.run_round(make_tasks(small_instance, 2, evals=500))
+        backend.shutdown()
+        backend.shutdown()  # repeated shutdown is a no-op
+        with pytest.raises(RuntimeError, match="not started"):
+            backend.run_round(make_tasks(small_instance, 2, evals=500))
+        backend.start(small_instance, config)  # revival cold-starts
+        reports = backend.run_round(make_tasks(small_instance, 2, evals=500))
+        cold = SerialBackend(2)
+        cold.start(small_instance, config)
+        assert reports_values(reports) == reports_values(
+            cold.run_round(make_tasks(small_instance, 2, evals=500))
+        )
+
+
+class TestMultiprocessingWarmLeasing:
+    def test_same_problem_restart_keeps_workers(self, small_instance, mp_context):
+        config = TabuSearchConfig(nb_div=100)
+        with MultiprocessingBackend(2, mp_context=mp_context) as backend:
+            backend.start(small_instance, config)
+            backend.run_round(make_tasks(small_instance, 2, evals=500))
+            pids = [p.pid for p in backend._procs]
+            backend.start(small_instance, config)
+            assert backend.warm_reuses == 1
+            assert [p.pid for p in backend._procs] == pids
+            backend.run_round(make_tasks(small_instance, 2, evals=500))
+
+    def test_rebind_without_respawn_matches_cold(
+        self, small_instance, medium_instance, mp_context
+    ):
+        config = TabuSearchConfig(nb_div=100)
+        with MultiprocessingBackend(2, mp_context=mp_context) as warm:
+            warm.start(small_instance, config)
+            warm.run_round(make_tasks(small_instance, 2, evals=500))
+            pids = [p.pid for p in warm._procs]
+            warm.start(medium_instance, config)
+            assert warm.rebinds == 1
+            # same live workers: rebind is a pipe message, not a respawn
+            assert [p.pid for p in warm._procs] == pids
+            warm_reports = warm.run_round(
+                make_tasks(medium_instance, 2, evals=500)
+            )
+        with MultiprocessingBackend(2, mp_context=mp_context) as cold:
+            cold.start(medium_instance, config)
+            cold_reports = cold.run_round(
+                make_tasks(medium_instance, 2, evals=500)
+            )
+        assert reports_values(warm_reports) == reports_values(cold_reports)
+
+    def test_shutdown_idempotent_and_revivable(self, small_instance, mp_context):
+        config = TabuSearchConfig(nb_div=100)
+        backend = MultiprocessingBackend(2, mp_context=mp_context)
+        backend.start(small_instance, config)
+        backend.run_round(make_tasks(small_instance, 2, evals=300))
+        backend.shutdown()
+        backend.shutdown()
+        backend.shutdown()  # any number of repeats stays a no-op
+        backend.start(small_instance, config)  # fresh workers after revival
+        try:
+            reports = backend.run_round(make_tasks(small_instance, 2, evals=300))
+            assert [r.slave_id for r in reports] == [0, 1]
+        finally:
+            backend.shutdown()

@@ -86,3 +86,74 @@ class TestGenerateAndInfo:
         out = capsys.readouterr().out
         assert code == 0
         assert "3*10" in out
+
+
+class TestServiceCommands:
+    @pytest.fixture()
+    def live_service(self):
+        """A real server on an ephemeral port, in a background thread."""
+        import asyncio
+        import threading
+
+        from repro.cli import _load_instance
+        from repro.service import JobManager, ServiceServer, SolverPool, request
+
+        started = threading.Event()
+        box: dict[str, int] = {}
+
+        def runner():
+            async def go():
+                pool = SolverPool.serial(1, 2)
+                manager = JobManager(pool)
+                server = ServiceServer(
+                    manager, port=0, instance_loader=_load_instance
+                )
+                _, port = await server.start()
+                box["port"] = port
+                started.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(10), "service thread never bound"
+        yield box["port"]
+        try:
+            request("127.0.0.1", box["port"], {"op": "shutdown"})
+        except (OSError, RuntimeError):
+            pass
+        thread.join(timeout=15)
+
+    def test_submit_stream_status_cancel(self, live_service, capsys):
+        port = str(live_service)
+        code = main(
+            [
+                "submit", "FP05", "--port", port, "--rounds", "2",
+                "--evals", "2000", "--stream",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run_end" in out
+        assert "done" in out
+        job_id = out.strip().splitlines()[0]
+
+        assert main(["status", job_id, "--port", port]) == 0
+        assert "done" in capsys.readouterr().out
+
+        # cancelling a finished job reports "already finished", exit 1
+        assert main(["cancel", job_id, "--port", port]) == 1
+        assert "already finished" in capsys.readouterr().out
+
+    def test_status_unknown_job(self, live_service):
+        with pytest.raises(SystemExit, match="unknown job id"):
+            main(["status", "job-999999", "--port", str(live_service)])
+
+    def test_unreachable_service(self):
+        with pytest.raises(SystemExit, match="cannot reach service"):
+            main(["status", "job-000001", "--port", "1"])
+
+    def test_submit_validates_instance_locally(self):
+        with pytest.raises(SystemExit, match="neither a file nor"):
+            main(["submit", "definitely-not-an-instance", "--port", "1"])

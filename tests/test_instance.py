@@ -141,3 +141,74 @@ class TestReferenceValues:
         other = small_instance.renamed("other")
         assert other.name == "other"
         np.testing.assert_array_equal(other.weights, small_instance.weights)
+
+
+class TestContentHash:
+    def test_stable_across_equal_content(self, small_instance):
+        from repro.core import MKPInstance
+
+        copy = MKPInstance(
+            weights=small_instance.weights.copy(),
+            capacities=small_instance.capacities.copy(),
+            profits=small_instance.profits.copy(),
+        )
+        assert copy.content_hash() == small_instance.content_hash()
+
+    def test_metadata_does_not_change_hash(self, small_instance):
+        renamed = small_instance.renamed("something else")
+        tagged = small_instance.with_reference(best_known=999.0)
+        assert renamed.content_hash() == small_instance.content_hash()
+        assert tagged.content_hash() == small_instance.content_hash()
+
+    def test_any_data_change_changes_hash(self, tiny_instance):
+        from repro.core import MKPInstance
+
+        base = tiny_instance.content_hash()
+
+        def variant(**overrides):
+            fields = {
+                "weights": tiny_instance.weights.copy(),
+                "capacities": tiny_instance.capacities.copy(),
+                "profits": tiny_instance.profits.copy(),
+            }
+            fields.update(overrides)
+            return MKPInstance(**fields)
+
+        profits = tiny_instance.profits.copy()
+        profits[0] += 1.0
+        weights = tiny_instance.weights.copy()
+        weights[1, 2] += 1.0
+        capacities = tiny_instance.capacities.copy()
+        capacities[0] += 1.0
+        hashes = {
+            base,
+            variant(profits=profits).content_hash(),
+            variant(weights=weights).content_hash(),
+            variant(capacities=capacities).content_hash(),
+        }
+        assert len(hashes) == 4  # no collisions among the single-field edits
+
+    def test_shape_is_part_of_identity(self):
+        from repro.core import MKPInstance
+
+        flat = MKPInstance(
+            weights=np.arange(1.0, 7.0).reshape(1, 6),
+            capacities=np.asarray([100.0]),
+            profits=np.arange(1.0, 7.0),
+        )
+        tall = MKPInstance(
+            weights=np.arange(1.0, 7.0).reshape(2, 3),
+            capacities=np.asarray([100.0, 100.0]),
+            profits=np.arange(1.0, 4.0),
+        )
+        # same weight bytes, different shape -> different problem
+        assert flat.content_hash() != tall.content_hash()
+
+    def test_hash_is_cached(self, small_instance):
+        first = small_instance.content_hash()
+        assert small_instance.content_hash() is first  # memoized string
+
+    def test_hex_digest_format(self, tiny_instance):
+        digest = tiny_instance.content_hash()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")

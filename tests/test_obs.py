@@ -362,3 +362,149 @@ class TestTraceCLI:
                 ["solve", "FP05", "--variant", "seq", "--evals", "1000",
                  "--record", str(tmp_path / "x.jsonl")]
             )
+
+
+class TestSubscribers:
+    def test_fanout_receives_every_event(self, small_instance):
+        recorder = RunRecorder()
+        seen: list[dict] = []
+        recorder.subscribe(seen.append)
+        run_recorded_with(recorder, small_instance)
+        assert seen == recorder.events
+
+    def test_unsubscribe_stops_delivery(self):
+        recorder = RunRecorder()
+        seen: list[dict] = []
+        recorder.subscribe(seen.append)
+        recorder.emit("note", text="a")
+        recorder.unsubscribe(seen.append)
+        recorder.emit("note", text="b")
+        assert [e["text"] for e in seen] == ["a"]
+
+    def test_raising_subscriber_is_dropped_not_fatal(self):
+        recorder = RunRecorder()
+        calls = {"n": 0}
+
+        def bad(_record):
+            calls["n"] += 1
+            raise RuntimeError("subscriber exploded")
+
+        good: list[dict] = []
+        recorder.subscribe(bad)
+        recorder.subscribe(good.append)
+        recorder.emit("note", text="a")  # bad raises, gets dropped
+        recorder.emit("note", text="b")
+        assert calls["n"] == 1
+        assert len(good) == 2
+
+
+def run_recorded_with(recorder, instance):
+    backend = SerialBackend(2)
+    config = MasterConfig(n_slaves=2, n_rounds=2)
+    master = MasterProcess(instance, config, backend, rng_seed=5, recorder=recorder)
+    try:
+        return master.run(budget_per_slave=Budget(max_evaluations=2_000))
+    finally:
+        backend.shutdown()
+
+
+class TestFollowStream:
+    def test_complete_file_terminates_at_run_end(self, small_instance, tmp_path):
+        from repro.obs import follow_stream
+
+        path = tmp_path / "run.jsonl"
+        run_recorded(small_instance, path=path)
+        # no idle timeout needed: run_end ends the tail immediately
+        events = list(follow_stream(path))
+        assert events == read_stream(path)
+        assert events[-1]["event"] == "run_end"
+
+    def test_tails_a_live_writer(self, small_instance, tmp_path):
+        import threading
+        import time as _time
+
+        from repro.obs import follow_stream
+
+        path = tmp_path / "live.jsonl"
+        lines = [
+            json.dumps({"event": "run_start", "seq": 0, "t": 0.0}),
+            json.dumps({"event": "round_start", "seq": 1, "t": 0.1,
+                        "round_index": 0}),
+            json.dumps({"event": "run_end", "seq": 2, "t": 0.2}),
+        ]
+        path.write_text("")
+
+        def writer():
+            with path.open("a", encoding="utf-8") as fh:
+                for line in lines:
+                    # split mid-line: the reader must buffer the fragment
+                    fh.write(line[:10])
+                    fh.flush()
+                    _time.sleep(0.05)
+                    fh.write(line[10:] + "\n")
+                    fh.flush()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        events = list(follow_stream(path, poll_s=0.01))
+        thread.join()
+        assert [e["event"] for e in events] == [
+            "run_start", "round_start", "run_end",
+        ]
+
+    def test_idle_timeout_ends_unfinished_stream(self, tmp_path):
+        import time as _time
+
+        from repro.obs import follow_stream
+
+        path = tmp_path / "stalled.jsonl"
+        path.write_text(
+            json.dumps({"event": "run_start", "seq": 0, "t": 0.0}) + "\n"
+        )
+        t0 = _time.monotonic()
+        events = list(follow_stream(path, poll_s=0.01, idle_timeout_s=0.2))
+        assert _time.monotonic() - t0 < 5.0
+        assert [e["event"] for e in events] == ["run_start"]
+
+    def test_stop_callback_ends_tail(self, tmp_path):
+        from repro.obs import follow_stream
+
+        path = tmp_path / "stop.jsonl"
+        path.write_text(
+            json.dumps({"event": "run_start", "seq": 0, "t": 0.0}) + "\n"
+        )
+        events = list(follow_stream(path, poll_s=0.01, stop=lambda: True))
+        # existing events drain first; the stop fires once the file is dry
+        assert [e["event"] for e in events] == ["run_start"]
+
+
+class TestTraceFollowCLI:
+    def test_follow_completed_stream(self, small_instance, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        run_recorded(small_instance, path=path)
+        assert cli_main(["trace", str(path), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out
+        assert "run_end" in out
+        assert "measured wall phases:" in out  # summary still printed
+
+    def test_follow_excludes_validate(self, small_instance, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_recorded(small_instance, path=path)
+        with pytest.raises(SystemExit, match="--follow excludes"):
+            cli_main(["trace", str(path), "--follow", "--validate"])
+
+    def test_follow_idle_timeout_on_unfinished_stream(self, tmp_path, capsys):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            json.dumps(
+                {"event": "run_start", "seq": 0, "t": 0.0, "variant": "CTS2"}
+            )
+            + "\n"
+        )
+        assert cli_main(
+            ["trace", str(path), "--follow", "--idle-timeout", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out
+        assert "stream still open" in out
