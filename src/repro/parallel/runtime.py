@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from ..core.instance import MKPInstance
 from ..core.strategy import Strategy
 from ..core.tabu_search import TabuSearch, TabuSearchConfig
@@ -88,12 +90,17 @@ class SlaveRuntime:
         """
         return self.instance.hot.nbytes
 
-    def execute(self, task: SlaveTask) -> SlaveReport:
+    def execute(self, task: SlaveTask, slave_id: int | None = None) -> SlaveReport:
         """Run one tabu-search round on the warm arena and package the report.
 
         Bit-identical to a cold :func:`~repro.parallel.slave.execute_task`
         for the same task: ``rebind`` re-seeds the RNG from ``task.seed``
         and clears every per-run memory before the run starts.
+
+        ``slave_id`` overrides the report's identity without rebuilding the
+        runtime — how one batched worker serves a whole slave group (the
+        trajectory depends only on the task contents, never on which arena
+        executed it; ``tests/test_backends.py`` pins that).
         """
         t0 = time.perf_counter()
         thread = self._thread.rebind(task.strategy, task.seed)
@@ -102,7 +109,7 @@ class SlaveRuntime:
         self.last_execute_s = time.perf_counter() - t0
         self.total_execute_s += self.last_execute_s
         return SlaveReport(
-            slave_id=self.slave_id,
+            slave_id=self.slave_id if slave_id is None else int(slave_id),
             best=result.best,
             elite=result.elite,
             initial_value=result.initial_value,
@@ -111,3 +118,37 @@ class SlaveRuntime:
             round_index=task.round_index,
             seq_id=task.seq_id,
         )
+
+    def execute_batch(
+        self, tasks: list[SlaveTask], slave_ids: list[int]
+    ) -> list[SlaveReport]:
+        """Serve a whole slave group's round on this one arena.
+
+        Before any search runs, the decoded initial solutions are audited
+        in a single batched ``(K, n)`` kernel pass
+        (:meth:`~repro.core.kernels.EvalKernel.batch_values`): on integer
+        instances a transport-corrupted frame whose claimed value disagrees
+        with recomputation fails loudly here instead of silently seeding a
+        wrong trajectory.  Execution itself stays sequential per task —
+        each run is a long dependent move chain — so reports are
+        bit-identical to ``K`` individual :meth:`execute` calls.
+        """
+        if len(tasks) != len(slave_ids):
+            raise ValueError("tasks and slave_ids must have equal length")
+        if tasks:
+            kernel = self._thread.state.kernel
+            if kernel.use_bitset:  # integer data: recomputation is exact
+                claimed = np.array([t.x_init.value for t in tasks])
+                values = kernel.batch_values(
+                    np.stack([t.x_init.x for t in tasks])
+                )
+                if not np.array_equal(values, claimed):
+                    bad = np.flatnonzero(values != claimed).tolist()
+                    raise ValueError(
+                        f"corrupt x_init frame(s) for slave(s) "
+                        f"{[slave_ids[i] for i in bad]}: claimed values "
+                        f"disagree with batched recomputation"
+                    )
+        return [
+            self.execute(task, slave_id=k) for task, k in zip(tasks, slave_ids)
+        ]

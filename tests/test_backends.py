@@ -266,3 +266,85 @@ class TestMultiprocessingWarmLeasing:
             assert [r.slave_id for r in reports] == [0, 1]
         finally:
             backend.shutdown()
+
+
+class TestBatchedKernel:
+    """The (K, n) kernel path must agree with K scalar resets bit-for-bit."""
+
+    def test_batch_values_loads_feasible_match_scalar(self, small_instance, rng):
+        import numpy as np
+
+        from repro.core.kernels import EvalKernel
+
+        kernel = EvalKernel(small_instance)
+        X = (rng.random((6, small_instance.n_items)) < 0.4).astype(np.int8)
+        values = kernel.batch_values(X)
+        loads = kernel.batch_loads(X)
+        feasible = kernel.batch_feasible(X)
+        assert values.shape == (6,)
+        assert loads.shape == (6, small_instance.n_constraints)
+        for i in range(6):
+            kernel.reset(X[i])
+            assert values[i] == kernel.value
+            assert np.array_equal(loads[i], kernel.load)
+            assert feasible[i] == kernel.is_feasible
+
+    def test_single_row_is_promoted_to_2d(self, small_instance):
+        import numpy as np
+
+        from repro.core.kernels import EvalKernel
+
+        kernel = EvalKernel(small_instance)
+        x = np.zeros(small_instance.n_items, dtype=np.int8)
+        assert kernel.batch_values(x).shape == (1,)
+        assert bool(kernel.batch_feasible(x)[0])  # empty knapsack is feasible
+
+
+class TestBatchedBackends:
+    """batch_k groups slaves onto shared runtimes without changing reports."""
+
+    def test_serial_batched_reports_match_per_slave(self, small_instance):
+        tasks = make_tasks(small_instance, 4, evals=600)
+        with SerialBackend(4) as ref, SerialBackend(4, batch_k=3) as batched:
+            ref.start(small_instance, TabuSearchConfig(nb_div=100))
+            batched.start(small_instance, TabuSearchConfig(nb_div=100))
+            a = ref.run_round(list(tasks))
+            b = batched.run_round(list(tasks))
+            # 4 slaves over groups of 3 → two warm runtimes, not four.
+            assert len(batched._runtimes) == 2
+        assert [r.slave_id for r in b] == [r.slave_id for r in a]
+        assert [r.best.value for r in b] == [r.best.value for r in a]
+        assert [r.evaluations for r in b] == [r.evaluations for r in a]
+
+    def test_mp_batched_spawns_fewer_workers(self, small_instance):
+        with MultiprocessingBackend(4, batch_k=2) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            assert backend.n_workers == 2
+            assert len(backend._procs) == 2
+            reports = backend.run_round(make_tasks(small_instance, 4, evals=600))
+            assert [r.slave_id for r in reports] == [0, 1, 2, 3]
+
+    def test_batch_k_validation(self):
+        with pytest.raises(ValueError):
+            SerialBackend(2, batch_k=0)
+        with pytest.raises(ValueError):
+            MultiprocessingBackend(2, batch_k=0)
+
+    def test_batched_runtime_audit_rejects_corrupt_x_init(self, small_instance):
+        from repro.core import TabuSearchConfig as _Cfg
+        from repro.parallel.runtime import SlaveRuntime
+
+        runtime = SlaveRuntime(small_instance, _Cfg(nb_div=100), slave_id=0)
+        tasks = make_tasks(small_instance, 2, evals=100)
+        bad = SlaveTask(
+            x_init=type(tasks[1].x_init).trusted(
+                tasks[1].x_init.x, tasks[1].x_init.value + 1.0
+            ),
+            strategy=tasks[1].strategy,
+            budget=tasks[1].budget,
+            seed=tasks[1].seed,
+            round_index=tasks[1].round_index,
+            seq_id=tasks[1].seq_id,
+        )
+        with pytest.raises(ValueError, match="corrupt x_init"):
+            runtime.execute_batch([tasks[0], bad], [0, 1])

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 
 import numpy as np
+import pytest
 
 from repro.core.strategy import Strategy
 from repro.core.tabu_search import TabuSearch, TabuSearchConfig
@@ -122,3 +123,60 @@ class TestThreadTrace:
             result.evaluations
         )
         assert ts.counters.moves == result.moves
+
+
+class TestTransportBatchGolden:
+    """ISSUE-7: the RunResult v2 serialization is byte-identical across
+    transport ∈ {pipe, shm} × batch K ∈ {1, 4}, and the shm/batched path
+    reproduces the golden CTS2 fingerprint exactly.
+
+    The canonical form strips only wall-clock measurements (see
+    ``tests/differential``); everything else — value history, per-round
+    accounting, byte ledgers, the structured trace — must match the
+    pipe/K=1 reference byte for byte.
+    """
+
+    _MATRIX = [("pipe", 1), ("pipe", 4), ("shm", 1), ("shm", 4)]
+    _cache: dict = {}
+
+    @classmethod
+    def _canonical(cls, transport: str, batch_k: int) -> bytes:
+        from repro.parallel.backends import MultiprocessingBackend
+
+        from tests.differential import run_canonical
+
+        key = (transport, batch_k)
+        if key not in cls._cache:
+            cls._cache[key] = run_canonical(
+                _instance(),
+                backend_factory=lambda: MultiprocessingBackend(
+                    4, transport=transport, batch_k=batch_k
+                ),
+                max_evaluations=2_000,
+            )
+        return cls._cache[key]
+
+    @pytest.mark.parametrize(("transport", "batch_k"), _MATRIX[1:])
+    def test_serialization_is_byte_identical_to_pipe_reference(
+        self, transport, batch_k
+    ):
+        reference = self._canonical("pipe", 1)
+        assert self._canonical(transport, batch_k) == reference
+
+    def test_cts2_golden_fingerprint_over_shm_batched_backend(self):
+        from repro.parallel.backends import MultiprocessingBackend
+
+        backend = MultiprocessingBackend(3, transport="shm", batch_k=3)
+        try:
+            result = solve_cts2(
+                _instance(),
+                n_slaves=3,
+                rng_seed=7,
+                max_evaluations=8_000,
+                backend=backend,
+            )
+        finally:
+            backend.shutdown()
+        assert result.best.value == GOLDEN_CTS2["best"]
+        assert result.total_evaluations == GOLDEN_CTS2["evaluations"]
+        assert [float(v) for v in result.value_history] == GOLDEN_CTS2["value_history"]
