@@ -32,6 +32,12 @@ class StrategyBounds:
     lt_length: tuple[int, int] = (5, 50)
     nb_drop: tuple[int, int] = (1, 8)
     nb_local: tuple[int, int] = (10, 100)
+    #: admissible LP-core fraction (ISSUE-8): the share of variables a
+    #: slave's search leaves *free* (the rest are pinned to their
+    #: LP-rounded values; see :mod:`repro.core.reduction`).  The default is
+    #: the degenerate ``(1.0, 1.0)`` — full-space search, no extra RNG
+    #: draw, bit-identical to the pre-core-fixing trajectories.
+    core_ratio: tuple[float, float] = (1.0, 1.0)
     #: total drop budget used to derive ``nb_it = base_iterations / nb_drop``
     base_iterations: int = 600
     #: apply the §4.2 load-balancing rule ``Nb_it ∝ 1/Nb_drop``.  When
@@ -47,6 +53,9 @@ class StrategyBounds:
                 raise ValueError(f"invalid bounds for {name}: ({lo}, {hi})")
         if self.base_iterations < 1:
             raise ValueError("base_iterations must be >= 1")
+        lo, hi = self.core_ratio
+        if not (0.0 < lo <= hi <= 1.0):
+            raise ValueError(f"invalid bounds for core_ratio: ({lo}, {hi})")
 
     def clip(self, strategy: "Strategy") -> "Strategy":
         """Project a strategy onto the admissible box."""
@@ -54,15 +63,22 @@ class StrategyBounds:
             lt_length=int(np.clip(strategy.lt_length, *self.lt_length)),
             nb_drop=int(np.clip(strategy.nb_drop, *self.nb_drop)),
             nb_local=int(np.clip(strategy.nb_local, *self.nb_local)),
+            core_ratio=float(np.clip(strategy.core_ratio, *self.core_ratio)),
         )
 
     def random(self, rng: np.random.Generator) -> "Strategy":
         """Uniform random strategy within the bounds (SGP fallback: 'these
         new values may be chosen randomly')."""
+        lo, hi = self.core_ratio
+        # Degenerate core bounds (the default) draw nothing: the RNG stream
+        # — and therefore every pinned golden trajectory — is unchanged
+        # unless a run explicitly opts into adaptive core sizing.
+        core = lo if lo == hi else float(rng.uniform(lo, hi))
         return Strategy(
             lt_length=int(rng.integers(self.lt_length[0], self.lt_length[1] + 1)),
             nb_drop=int(rng.integers(self.nb_drop[0], self.nb_drop[1] + 1)),
             nb_local=int(rng.integers(self.nb_local[0], self.nb_local[1] + 1)),
+            core_ratio=core,
         )
 
     def nb_it(self, strategy: "Strategy") -> int:
@@ -90,6 +106,9 @@ class Strategy:
     lt_length: int
     nb_drop: int
     nb_local: int
+    #: fraction of variables the slave's search leaves free (ISSUE-8 core
+    #: sizing knob); 1.0 = full-space search, the historical behaviour
+    core_ratio: float = 1.0
 
     def __post_init__(self) -> None:
         if self.lt_length < 0:
@@ -98,11 +117,20 @@ class Strategy:
             raise ValueError(f"nb_drop must be >= 1; got {self.nb_drop}")
         if self.nb_local < 1:
             raise ValueError(f"nb_local must be >= 1; got {self.nb_local}")
+        if not 0.0 < self.core_ratio <= 1.0:
+            raise ValueError(f"core_ratio must be in (0, 1]; got {self.core_ratio}")
 
     def __reduce__(self):
         # Compact wire form: constructor args only, no per-field-name state
         # dict — strategies ride in every SlaveTask, so framing bytes count.
-        return (Strategy, (self.lt_length, self.nb_drop, self.nb_local))
+        # Full-space strategies keep the historical 3-tuple, so their pickle
+        # bytes (and the byte ledgers built on them) are unchanged.
+        if self.core_ratio == 1.0:
+            return (Strategy, (self.lt_length, self.nb_drop, self.nb_local))
+        return (
+            Strategy,
+            (self.lt_length, self.nb_drop, self.nb_local, self.core_ratio),
+        )
 
     # ------------------------------------------------------------------ #
     # Directed mutations used by the SGP
@@ -119,10 +147,17 @@ class Strategy:
         lt_step = max(1, round((bounds.lt_length[1] - self.lt_length) * intensity))
         drop_step = max(1, round((bounds.nb_drop[1] - self.nb_drop) * intensity))
         local_step = max(1, round((self.nb_local - bounds.nb_local[0]) * intensity))
+        # Clustered elites ⇒ widen the core toward the upper bound: freeing
+        # more variables is the reduction layer's diversification move
+        # (degenerate default bounds leave the ratio pinned at 1.0).
+        core_step = (bounds.core_ratio[1] - self.core_ratio) * intensity
         return Strategy(
             lt_length=int(np.clip(self.lt_length + lt_step, *bounds.lt_length)),
             nb_drop=int(np.clip(self.nb_drop + drop_step, *bounds.nb_drop)),
             nb_local=int(np.clip(self.nb_local - local_step, *bounds.nb_local)),
+            core_ratio=float(
+                np.clip(self.core_ratio + max(core_step, 0.0), *bounds.core_ratio)
+            ),
         )
 
     def intensified(self, bounds: StrategyBounds, intensity: float = 0.5) -> "Strategy":
@@ -136,10 +171,16 @@ class Strategy:
         lt_step = max(1, round((self.lt_length - bounds.lt_length[0]) * intensity))
         drop_step = max(1, round((self.nb_drop - bounds.nb_drop[0]) * intensity))
         local_step = max(1, round((bounds.nb_local[1] - self.nb_local) * intensity))
+        # Dispersed elites ⇒ narrow the core toward the lower bound: fewer
+        # free variables concentrates the search on the LP-ambiguous set.
+        core_step = (self.core_ratio - bounds.core_ratio[0]) * intensity
         return Strategy(
             lt_length=int(np.clip(self.lt_length - lt_step, *bounds.lt_length)),
             nb_drop=int(np.clip(self.nb_drop - drop_step, *bounds.nb_drop)),
             nb_local=int(np.clip(self.nb_local + local_step, *bounds.nb_local)),
+            core_ratio=float(
+                np.clip(self.core_ratio - max(core_step, 0.0), *bounds.core_ratio)
+            ),
         )
 
     def as_tuple(self) -> tuple[int, int, int]:

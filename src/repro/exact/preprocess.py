@@ -20,13 +20,17 @@ carrying the mapping back to the original variable space.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.instance import MKPInstance
 from .bounds import solve_lp_relaxation
 
-__all__ = ["Reduction", "reduce_instance"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..core.reduction import FixationPattern
+
+__all__ = ["Reduction", "reduce_instance", "reduce_to_core"]
 
 
 @dataclass(frozen=True)
@@ -138,6 +142,60 @@ def reduce_instance(
         capacities=np.clip(new_capacities, 0.0, None),
         profits=instance.profits[kept_items],
         name=f"{instance.name}-reduced",
+    )
+    return Reduction(
+        original=instance,
+        reduced=reduced,
+        kept_items=kept_items,
+        kept_constraints=kept_constraints,
+        fixed_one=fixed_one,
+        fixed_zero=fixed_zero,
+    )
+
+
+def reduce_to_core(
+    instance: MKPInstance, pattern: "FixationPattern"
+) -> Reduction:
+    """Build the reduced instance a fixation pattern describes.
+
+    Unlike :func:`reduce_instance` (which *proves* its peggings optimal via
+    reduced costs and an incumbent), this is the heuristic core-fixing
+    construction of :class:`~repro.core.reduction.CoreSelector`: the free
+    variables are exactly ``pattern.core_mask``, everything else is pinned
+    to ``pattern.fixed_values``, and every constraint is kept so the
+    reduced row space matches the original (lifted loads stay comparable).
+
+    Feasibility is guaranteed by the selector's invariant — only variables
+    at the LP upper bound are ever pinned to 1, so any subset of them fits
+    within the capacities (module docstring of :mod:`repro.core.reduction`);
+    the defensive check below turns a violated invariant into a loud error
+    instead of an infeasible slave.
+    """
+    core_mask = np.ascontiguousarray(pattern.core_mask, dtype=bool)
+    if core_mask.shape != (instance.n_items,):
+        raise ValueError(
+            f"pattern covers {core_mask.shape[0]} items; instance has "
+            f"{instance.n_items}"
+        )
+    if not core_mask.any():
+        raise ValueError("pattern must leave at least one variable free")
+    fixed_values = np.ascontiguousarray(pattern.fixed_values, dtype=np.int8)
+    kept_items = np.flatnonzero(core_mask)
+    fixed_one = np.flatnonzero(~core_mask & (fixed_values == 1))
+    fixed_zero = np.flatnonzero(~core_mask & (fixed_values == 0))
+    kept_constraints = np.arange(instance.n_constraints)
+
+    new_capacities = instance.capacities - instance.weights[:, fixed_one].sum(axis=1)
+    if np.any(new_capacities < -1e-9):
+        raise RuntimeError(
+            "fixation pattern pins items to 1 beyond the capacities; "
+            "the selector's LP-upper-bound invariant was violated"
+        )
+    reduced = MKPInstance(
+        weights=instance.weights[:, kept_items],
+        capacities=np.clip(new_capacities, 0.0, None),
+        profits=instance.profits[kept_items],
+        name=f"{instance.name}-core{kept_items.size}",
     )
     return Reduction(
         original=instance,

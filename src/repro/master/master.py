@@ -146,6 +146,27 @@ class MasterProcess:
         #: whether the last :meth:`run` ended early on a cancel request
         self.was_cancelled = False
         self._phase_trace: list[str] | None = None
+        #: lazy per-instance LP-core selector (ISSUE-8): built on the first
+        #: round in which some strategy asks for ``core_ratio < 1.0``, via
+        #: the process-wide content-addressed cache — full-space runs never
+        #: touch the LP (or scipy) at all
+        self._core_selector = None
+
+    def _fixation_pattern(self, strategy, slave_id: int):
+        """The slave's fixation pattern for this round (None = full space).
+
+        ``variant=slave_id`` rotates each slave's core boundary window so
+        cooperating slaves free slightly different variable sets — the
+        reduction layer's diversification, deterministic and RNG-free.
+        """
+        ratio = strategy.core_ratio
+        if ratio >= 1.0:
+            return None
+        if self._core_selector is None:
+            from ..core.reduction import shared_selector  # lazy: pulls scipy
+
+            self._core_selector = shared_selector(self.instance)
+        return self._core_selector.pattern(ratio, variant=slave_id)
 
     # ------------------------------------------------------------------ #
     def run(self, budget_per_slave: Budget | None = None) -> ParallelRunResult:
@@ -236,6 +257,7 @@ class MasterProcess:
                         seed=seed,
                         round_index=round_idx,
                         seq_id=round_idx * cfg.n_slaves + k,
+                        pattern=self._fixation_pattern(entry.strategy, k),
                     )
                 )
             rec.round_start(

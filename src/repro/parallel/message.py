@@ -21,6 +21,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 
+from ..core.reduction import FixationPattern
 from ..core.solution import Solution
 from ..core.strategy import Strategy
 from ..core.termination import Budget
@@ -56,29 +57,38 @@ class SlaveTask:
     round_index: int = 0
     #: unique per (round, slave) — the idempotency key echoed by the report
     seq_id: int = 0
+    #: LP-core fixation for this round (ISSUE-8); ``None`` = full-space
+    #: search.  ``x_init`` is always full-space — the slave runtime projects
+    #: it onto the core and lifts its report back, so the master never sees
+    #: reduced coordinates.
+    pattern: FixationPattern | None = None
 
     def __reduce__(self):
         # Compact wire form: positional args with the strategy and budget
         # flattened to plain tuples — the dataclass state dicts and nested
         # class references would otherwise cost more than the packed
-        # solution frame they accompany.
+        # solution frame they accompany.  Full-space tasks keep the
+        # historical 6-tuple (no pattern, core_ratio elided when 1.0), so
+        # their pickle bytes — and the byte ledgers — are unchanged.
         budget = self.budget
-        return (
-            _task_from_wire,
+        args = (
+            self.x_init,
+            self.strategy.as_tuple()
+            if self.strategy.core_ratio == 1.0
+            else (*self.strategy.as_tuple(), self.strategy.core_ratio),
             (
-                self.x_init,
-                self.strategy.as_tuple(),
-                (
-                    budget.max_evaluations,
-                    budget.max_moves,
-                    budget.wall_seconds,
-                    budget.target_value,
-                ),
-                self.seed,
-                self.round_index,
-                self.seq_id,
+                budget.max_evaluations,
+                budget.max_moves,
+                budget.wall_seconds,
+                budget.target_value,
             ),
+            self.seed,
+            self.round_index,
+            self.seq_id,
         )
+        if self.pattern is not None:
+            args = (*args, self.pattern)
+        return (_task_from_wire, args)
 
 
 @dataclass(frozen=True)
@@ -117,11 +127,12 @@ class SlaveReport:
 
 def _task_from_wire(
     x_init: Solution,
-    strategy: tuple[int, int, int],
+    strategy: tuple,
     budget: tuple[int | None, int | None, float | None, float | None],
     seed: int,
     round_index: int,
     seq_id: int,
+    pattern: FixationPattern | None = None,
 ) -> SlaveTask:
     """Rebuild a :class:`SlaveTask` from its compact wire tuple."""
     return SlaveTask(
@@ -131,6 +142,7 @@ def _task_from_wire(
         seed=seed,
         round_index=round_index,
         seq_id=seq_id,
+        pattern=pattern,
     )
 
 

@@ -36,15 +36,24 @@ every evaluation counter, and the incumbent snapshot.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 import numpy as np
 
 from ..core.instance import MKPInstance
+from ..core.reduction import FixationPattern
+from ..core.solution import Solution
 from ..core.strategy import Strategy
 from ..core.tabu_search import TabuSearch, TabuSearchConfig
 from .message import SlaveReport, SlaveTask
 
 __all__ = ["SlaveRuntime"]
+
+#: Resident reduced-arena bound: each entry holds a reduced instance (with
+#: its own HotTables) plus a reduced TabuSearch thread.  The SGP revisits a
+#: handful of core sizes and a batched worker serves a few per-slave
+#: variants, so a small LRU captures the working set.
+_CORE_CACHE_ENTRIES = 8
 
 #: Placeholder strategy used to build the arena before the first task
 #: arrives (its values never influence a run: every task rebinds first).
@@ -76,6 +85,15 @@ class SlaveRuntime:
         #: cumulative wall seconds spent inside :meth:`execute` since spawn
         self.total_execute_s = 0.0
         self._thread = TabuSearch(instance, _BOOT_STRATEGY, config=config)
+        #: reduced arenas keyed by pattern signature (ISSUE-8 re-core path);
+        #: values are ``(Reduction, TabuSearch)`` pairs over the reduced
+        #: instance.  Rebuilt lazily after a respawn or REBIND — the pattern
+        #: rides in every task, so re-coring needs no extra protocol.
+        self._core_arenas: OrderedDict[bytes, tuple] = OrderedDict()
+        #: reduced arenas built since spawn (cache misses; telemetry)
+        self.recores = 0
+        #: tasks served on a reduced arena since spawn (telemetry)
+        self.core_tasks = 0
 
     @property
     def thread(self) -> TabuSearch:
@@ -101,18 +119,108 @@ class SlaveRuntime:
         runtime — how one batched worker serves a whole slave group (the
         trajectory depends only on the task contents, never on which arena
         executed it; ``tests/test_backends.py`` pins that).
+
+        Tasks carrying a non-trivial :class:`~repro.core.reduction.FixationPattern`
+        run on a *reduced* arena instead (ISSUE-8 core fixing): the initial
+        solution is projected onto the core, the search scans only the free
+        columns, and the report is lifted back to full space — the master
+        never sees reduced coordinates.
         """
         t0 = time.perf_counter()
-        thread = self._thread.rebind(task.strategy, task.seed)
-        result = thread.run(x_init=task.x_init, budget=task.budget)
+        pattern = task.pattern
+        if pattern is not None and not pattern.is_trivial:
+            report = self._execute_reduced(task, pattern, slave_id)
+        else:
+            thread = self._thread.rebind(task.strategy, task.seed)
+            result = thread.run(x_init=task.x_init, budget=task.budget)
+            report = SlaveReport(
+                slave_id=self.slave_id if slave_id is None else int(slave_id),
+                best=result.best,
+                elite=result.elite,
+                initial_value=result.initial_value,
+                evaluations=result.evaluations,
+                moves=result.moves,
+                round_index=task.round_index,
+                seq_id=task.seq_id,
+            )
         self.tasks_served += 1
         self.last_execute_s = time.perf_counter() - t0
         self.total_execute_s += self.last_execute_s
+        return report
+
+    # ------------------------------------------------------------------ #
+    # LP-core reduced execution (ISSUE-8)
+    # ------------------------------------------------------------------ #
+    def _core_arena(self, pattern: FixationPattern):
+        """The ``(Reduction, TabuSearch)`` pair for a pattern (LRU-cached).
+
+        A cache miss builds the reduced instance (pure array slicing — the
+        LP behind the pattern was solved master-side) plus a warm reduced
+        thread whose kernels, fitting tables and batched matmuls all span
+        ``n_core`` columns.  Misses count as ``recores``: a respawned or
+        freshly rebound worker re-cores from the task's pattern alone.
+        """
+        key = pattern.signature()
+        cached = self._core_arenas.get(key)
+        if cached is not None:
+            self._core_arenas.move_to_end(key)
+            return cached
+        from ..exact.preprocess import reduce_to_core  # lazy: exact layer
+
+        reduction = reduce_to_core(self.instance, pattern)
+        thread = TabuSearch(reduction.reduced, _BOOT_STRATEGY, config=self.config)
+        self._core_arenas[key] = (reduction, thread)
+        while len(self._core_arenas) > _CORE_CACHE_ENTRIES:
+            self._core_arenas.popitem(last=False)
+        self.recores += 1
+        return reduction, thread
+
+    @staticmethod
+    def _project(reduction, x_init: Solution) -> Solution:
+        """Project a full-space solution onto the core, repaired feasible.
+
+        Keeps the core coordinates of ``x_init`` and drops the rest; if the
+        pattern pins items to 1 that ``x_init`` left out, the reduced
+        capacities may be exceeded — the repair then deterministically
+        drops, from the most violated constraint, the packed item with the
+        largest weight there (ties to the lowest index) until feasible.
+        The all-zero vector is always feasible (capacities are clipped
+        non-negative), so the loop terminates.
+        """
+        red = reduction.reduced
+        x = x_init.x[reduction.kept_items].astype(np.int8, copy=True)
+        load = red.weights.astype(np.float64) @ x
+        excess = load - red.capacities
+        while np.any(excess > 1e-9):
+            i = int(np.argmax(excess))
+            packed = np.flatnonzero(x)
+            j = int(packed[np.argmax(red.weights[i, packed])])
+            x[j] = 0
+            load -= red.weights[:, j]
+            excess = load - red.capacities
+        return Solution.trusted(x, float(red.profits @ x))
+
+    @staticmethod
+    def _lift(reduction, sol: Solution) -> Solution:
+        """Lift a reduced-space solution back to full-space coordinates."""
+        return Solution.trusted(
+            reduction.lift(sol.x), reduction.lift_value(sol.value)
+        )
+
+    def _execute_reduced(
+        self, task: SlaveTask, pattern: FixationPattern, slave_id: int | None
+    ) -> SlaveReport:
+        """Run one round on the pattern's reduced arena and lift the report."""
+        reduction, thread = self._core_arena(pattern)
+        self.core_tasks += 1
+        thread.rebind(task.strategy, task.seed)
+        x_red = self._project(reduction, task.x_init)
+        result = thread.run(x_init=x_red, budget=task.budget)
         return SlaveReport(
             slave_id=self.slave_id if slave_id is None else int(slave_id),
-            best=result.best,
-            elite=result.elite,
-            initial_value=result.initial_value,
+            best=self._lift(reduction, result.best),
+            elite=[self._lift(reduction, s) for s in result.elite],
+            initial_value=reduction.lift_value(result.initial_value),
             evaluations=result.evaluations,
             moves=result.moves,
             round_index=task.round_index,

@@ -56,6 +56,7 @@ import struct
 import time
 from typing import Any
 
+from ..core.reduction import _pattern_from_wire
 from ..core.solution import Solution, _solution_from_wire
 from ..core.strategy import Strategy
 from ..core.termination import Budget
@@ -405,6 +406,11 @@ _BUDGET_EVALS = 1
 _BUDGET_MOVES = 2
 _BUDGET_WALL = 4
 _BUDGET_TARGET = 8
+#: the strategy carries a non-unit core ratio (one <d follows the budget)
+_HAS_CORE_RATIO = 16
+#: the task carries a fixation pattern (two packed ceil(n/8) blocks:
+#: core mask then fixed values — see repro.core.reduction)
+_HAS_PATTERN = 32
 
 
 class WireCodec:
@@ -448,6 +454,10 @@ class WireCodec:
             flags |= _BUDGET_WALL
         if budget.target_value is not None:
             flags |= _BUDGET_TARGET
+        if task.strategy.core_ratio != 1.0:
+            flags |= _HAS_CORE_RATIO
+        if task.pattern is not None:
+            flags |= _HAS_PATTERN
         lt, drop, local = task.strategy.as_tuple()
         out = bytearray(
             _TASK_HEAD.pack(
@@ -463,6 +473,11 @@ class WireCodec:
             out += _VALUE.pack(budget.wall_seconds)
         if flags & _BUDGET_TARGET:
             out += _VALUE.pack(budget.target_value)
+        if flags & _HAS_CORE_RATIO:
+            out += _VALUE.pack(task.strategy.core_ratio)
+        if flags & _HAS_PATTERN:
+            out += task.pattern.packed_mask_bytes()
+            out += task.pattern.packed_values_bytes()
         self._put_solution(out, task.x_init)
         return bytes(out)
 
@@ -487,14 +502,28 @@ class WireCodec:
         if flags & _BUDGET_TARGET:
             (target_value,) = _VALUE.unpack_from(frame, off)
             off += _VALUE.size
+        core_ratio = 1.0
+        if flags & _HAS_CORE_RATIO:
+            (core_ratio,) = _VALUE.unpack_from(frame, off)
+            off += _VALUE.size
+        pattern = None
+        if flags & _HAS_PATTERN:
+            nb = (self.n_items + 7) // 8
+            pattern = _pattern_from_wire(
+                bytes(frame[off : off + nb]),
+                bytes(frame[off + nb : off + 2 * nb]),
+                self.n_items,
+            )
+            off += 2 * nb
         x_init, off = self._take_solution(frame, off)
         return SlaveTask(
             x_init=x_init,
-            strategy=Strategy(lt, drop, local),
+            strategy=Strategy(lt, drop, local, core_ratio),
             budget=Budget(max_evaluations, max_moves, wall_seconds, target_value),
             seed=seed,
             round_index=round_index,
             seq_id=seq_id,
+            pattern=pattern,
         )
 
     # -- reports --------------------------------------------------------- #

@@ -49,6 +49,23 @@ def budget_for_virtual_seconds(
     return Budget(max_evaluations=evals)
 
 
+def _core_bounds(
+    core_ratio: float | tuple[float, float] | None,
+) -> tuple[float, float]:
+    """Admissible ``StrategyBounds.core_ratio`` range from the user knob.
+
+    ``None`` (and 1.0) keep the degenerate full-space default; a scalar
+    ``c < 1`` opens the adaptive range ``(c, 1.0)`` the SGP tunes within;
+    an explicit ``(lo, hi)`` tuple is passed through (``lo == hi`` pins the
+    ratio — useful for A/B benchmarks and the reduction test matrix).
+    """
+    if core_ratio is None:
+        return (1.0, 1.0)
+    if isinstance(core_ratio, tuple):
+        return (float(core_ratio[0]), float(core_ratio[1]))
+    return (float(core_ratio), 1.0)
+
+
 def _resolve_budget(
     instance: MKPInstance,
     farm: FarmModel,
@@ -153,6 +170,7 @@ def _solve_master_variant(
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
+    core_ratio: float | tuple[float, float] | None = None,
 ) -> ParallelRunResult:
     budget = _resolve_budget(
         instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
@@ -163,6 +181,12 @@ def _solve_master_variant(
             n_rounds=n_rounds,
             communicate=communicate,
             adapt_strategies=adapt_strategies,
+            bounds=StrategyBounds(core_ratio=_core_bounds(core_ratio)),
+        )
+    elif core_ratio is not None:
+        raise ValueError(
+            "pass the core ratio through master_config.bounds when supplying "
+            "an explicit MasterConfig"
         )
     owns_backend = backend is None
     if backend is None:
@@ -199,6 +223,7 @@ def solve_its(
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
+    core_ratio: float | tuple[float, float] | None = None,
 ) -> ParallelRunResult:
     """ITS — P independent threads, no communication, fixed strategies."""
     if master_config is not None:
@@ -221,6 +246,7 @@ def solve_its(
         wall_seconds=wall_seconds,
         recorder=recorder,
         cancel=cancel,
+        core_ratio=core_ratio,
     )
 
 
@@ -239,6 +265,7 @@ def solve_cts1(
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
+    core_ratio: float | tuple[float, float] | None = None,
 ) -> ParallelRunResult:
     """CTS1 — cooperative threads (ISP pooling), fixed strategies."""
     if master_config is not None:
@@ -261,6 +288,7 @@ def solve_cts1(
         wall_seconds=wall_seconds,
         recorder=recorder,
         cancel=cancel,
+        core_ratio=core_ratio,
     )
 
 
@@ -279,6 +307,7 @@ def solve_cts2(
     wall_seconds: float | None = None,
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
+    core_ratio: float | tuple[float, float] | None = None,
 ) -> ParallelRunResult:
     """CTS2 — full cooperative parallel TS with dynamic strategy tuning."""
     if master_config is not None:
@@ -301,4 +330,5 @@ def solve_cts2(
         wall_seconds=wall_seconds,
         recorder=recorder,
         cancel=cancel,
+        core_ratio=core_ratio,
     )

@@ -60,6 +60,22 @@ def make_tasks(instance, n, evals=1500, round_index=0):
     ]
 
 
+def make_core_tasks(instance, pattern, n, evals=1500, round_index=0):
+    """Tasks carrying an ISSUE-8 fixation pattern (core_ratio < 1)."""
+    return [
+        SlaveTask(
+            x_init=random_solution(instance, rng=k),
+            strategy=Strategy(8, 2, 10, core_ratio=0.5),
+            budget=Budget(max_evaluations=evals),
+            seed=1000 + k,
+            round_index=round_index,
+            seq_id=round_index * n + k,
+            pattern=pattern,
+        )
+        for k in range(n)
+    ]
+
+
 class TestFaultPlan:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_same_seed_same_schedule(self, seed):
@@ -302,6 +318,41 @@ class TestMultiprocessingChaos:
             assert [r.slave_id for r in second] == [0, 1]
             assert backend.respawns[0] == 1
 
+    def test_crashed_worker_recores_from_the_task_alone(self, small_instance):
+        """ISSUE-8: a respawned worker rebuilds its reduced instance from
+        the :class:`FixationPattern` on the wire — no master-side replay.
+
+        Worker 0 dies mid-round while serving reduced tasks; the fresh
+        process it is replaced by has never seen the pattern, so round 1
+        only succeeds if the re-core happens from the task alone.  Reports
+        must still lift to feasible full-space solutions with the
+        out-of-core coordinates pinned to the pattern's values.
+        """
+        import numpy as np
+
+        from repro.core.reduction import CoreSelector
+
+        pattern = CoreSelector(small_instance).pattern(0.5, variant=0)
+        out = ~pattern.core_mask
+        plan = FaultPlan(events=(FaultEvent(0, 0, FaultKind.CRASH),))
+        with MultiprocessingBackend(2, fault_plan=plan, round_timeout_s=30.0) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            first = backend.run_round(
+                make_core_tasks(small_instance, pattern, 2, evals=500)
+            )
+            assert [r.slave_id for r in first] == [1]
+            second = backend.run_round(
+                make_core_tasks(small_instance, pattern, 2, evals=500, round_index=1)
+            )
+            assert [r.slave_id for r in second] == [0, 1]
+            assert backend.respawns[0] == 1
+            for report in first + second:
+                x = report.best.x
+                assert x.shape == (small_instance.n_items,)
+                assert small_instance.is_feasible(x)
+                assert report.best.value == float(small_instance.objective(x))
+                assert np.array_equal(x[out], pattern.fixed_values[out])
+
     def test_dropped_report_times_out_not_deadlocks(self, small_instance):
         plan = FaultPlan(events=(FaultEvent(0, 1, FaultKind.DROP_REPORT),))
         with MultiprocessingBackend(2, fault_plan=plan, round_timeout_s=2.0) as backend:
@@ -458,6 +509,38 @@ class TestShmTransportChaos:
             # The respawned worker speaks shm again, over *new* segments.
             assert backend.worker_transports[0] == "shm"
             assert {r.name for r in backend._rings[0]}.isdisjoint(old_ring_names)
+
+    def test_crashed_worker_recores_over_fresh_rings(self, small_instance):
+        """ISSUE-8 x ISSUE-7: the re-core-from-task guarantee holds when the
+        respawned worker also has to renegotiate shm rings — the pattern
+        travels through the binary codec, not the pickle fallback."""
+        import numpy as np
+
+        from repro.core.reduction import CoreSelector
+
+        pattern = CoreSelector(small_instance).pattern(0.5, variant=1)
+        out = ~pattern.core_mask
+        plan = FaultPlan(events=(FaultEvent(0, 0, FaultKind.CRASH),))
+        with MultiprocessingBackend(
+            2, transport="shm", fault_plan=plan, round_timeout_s=30.0
+        ) as backend:
+            backend.start(small_instance, TabuSearchConfig(nb_div=100))
+            if backend.transport != "shm":
+                pytest.skip("POSIX shared memory unavailable")
+            first = backend.run_round(
+                make_core_tasks(small_instance, pattern, 2, evals=500)
+            )
+            assert [r.slave_id for r in first] == [1]
+            second = backend.run_round(
+                make_core_tasks(small_instance, pattern, 2, evals=500, round_index=1)
+            )
+            assert [r.slave_id for r in second] == [0, 1]
+            assert backend.respawns[0] == 1
+            assert backend.worker_transports[0] == "shm"
+            for report in first + second:
+                x = report.best.x
+                assert small_instance.is_feasible(x)
+                assert np.array_equal(x[out], pattern.fixed_values[out])
 
     def test_ring_allocation_failure_degrades_to_pipe(self, small_instance):
         from repro.parallel import backends as backends_mod

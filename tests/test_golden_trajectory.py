@@ -180,3 +180,55 @@ class TestTransportBatchGolden:
         assert result.best.value == GOLDEN_CTS2["best"]
         assert result.total_evaluations == GOLDEN_CTS2["evaluations"]
         assert [float(v) for v in result.value_history] == GOLDEN_CTS2["value_history"]
+
+
+class TestCoreRatioGolden:
+    """ISSUE-8: ``core_ratio=1.0`` is the degenerate full-space setting —
+    the LP-core machinery must be a strict no-op on it.  The explicit knob
+    (not just the ``None`` default) must reproduce the golden CTS2
+    fingerprint bit for bit on every backend/transport, proving that the
+    Strategy wire form, the SGP bounds plumbing, and the runtime's pattern
+    dispatch add zero drift when no variable is actually fixed.
+    """
+
+    @staticmethod
+    def _assert_golden(result):
+        assert result.best.value == GOLDEN_CTS2["best"]
+        assert result.total_evaluations == GOLDEN_CTS2["evaluations"]
+        assert [float(v) for v in result.value_history] == GOLDEN_CTS2["value_history"]
+
+    def test_cts2_core_ratio_one_reproduces_golden_run(self):
+        result = solve_cts2(
+            _instance(), n_slaves=3, rng_seed=7, max_evaluations=8_000, core_ratio=1.0
+        )
+        self._assert_golden(result)
+
+    def test_cts2_pinned_unit_bounds_reproduce_golden_run(self):
+        # An explicit degenerate range (lo == hi == 1.0) exercises the
+        # tuple branch of the knob; still bit-identical.
+        result = solve_cts2(
+            _instance(),
+            n_slaves=3,
+            rng_seed=7,
+            max_evaluations=8_000,
+            core_ratio=(1.0, 1.0),
+        )
+        self._assert_golden(result)
+
+    @pytest.mark.parametrize(("transport", "batch_k"), [("pipe", 1), ("shm", 3)])
+    def test_cts2_core_ratio_one_golden_over_mp_backends(self, transport, batch_k):
+        from repro.parallel.backends import MultiprocessingBackend
+
+        backend = MultiprocessingBackend(3, transport=transport, batch_k=batch_k)
+        try:
+            result = solve_cts2(
+                _instance(),
+                n_slaves=3,
+                rng_seed=7,
+                max_evaluations=8_000,
+                backend=backend,
+                core_ratio=1.0,
+            )
+        finally:
+            backend.shutdown()
+        self._assert_golden(result)
