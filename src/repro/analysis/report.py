@@ -130,6 +130,11 @@ def summarize_result(result: ParallelRunResult) -> dict:
         "bytes": {"total": result.bytes_sent},
         "fault_tallies": dict(result.fault_summary),
         "degraded_rounds": result.degraded_rounds,
+        "pipeline": (
+            {"mode": result.pipeline, **result.pipeline_stats}
+            if result.pipeline != "sync" or result.pipeline_stats
+            else None
+        ),
     }
 
 
@@ -172,4 +177,23 @@ def render_run_summary(summary: dict) -> str:
         lines.append(f"faults:       {rendered}")
     else:
         lines.append("faults:       none")
+    pipeline = summary.get("pipeline")
+    if pipeline:
+        parts = []
+        if "mode" in pipeline:
+            parts.append(f"mode={pipeline['mode']}")
+        if "bursts" in pipeline:
+            parts.append(f"bursts={pipeline['bursts']:.0f}")
+        if "mean_queue_depth" in pipeline:
+            parts.append(f"mean queue depth={pipeline['mean_queue_depth']:.2f}")
+        if "max_staleness" in pipeline:
+            parts.append(f"max staleness={pipeline['max_staleness']:.0f}")
+        if pipeline.get("reclaimed_idle_s") is not None:
+            parts.append(f"idle reclaimed={pipeline['reclaimed_idle_s']:.3f}s")
+        if pipeline.get("outcomes"):
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(pipeline["outcomes"].items())
+            )
+            parts.append(f"outcomes: {rendered}")
+        lines.append("pipeline:     " + "  ".join(parts))
     return "\n".join(lines)

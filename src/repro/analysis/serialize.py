@@ -159,6 +159,8 @@ def result_to_dict(result: ParallelRunResult) -> dict:
         "bytes_sent": result.bytes_sent,
         "fault_summary": dict(result.fault_summary),
         "value_history": list(result.value_history),
+        "pipeline": result.pipeline,
+        "pipeline_stats": dict(result.pipeline_stats),
         "trace": None if result.trace is None else _trace_to_dict(result.trace),
     }
 
@@ -186,6 +188,10 @@ def result_from_dict(data: dict) -> ParallelRunResult:
         bytes_sent=int(data["bytes_sent"]),
         value_history=[float(v) for v in data["value_history"]],
         fault_summary={k: int(v) for k, v in data.get("fault_summary", {}).items()},
+        pipeline=str(data.get("pipeline", "sync")),
+        pipeline_stats={
+            k: float(v) for k, v in data.get("pipeline_stats", {}).items()
+        },
     )
 
 

@@ -94,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--seconds", type=float, help="per-processor simulated-seconds budget"
     )
     solve.add_argument(
+        "--pipeline",
+        choices=["sync", "async"],
+        default="sync",
+        help="master execution mode for its/cts1/cts2: 'sync' is the "
+        "Fig. 2 barrier loop, 'async' pipelines bursts with bounded "
+        "staleness (distinct from --variant async, the thread-based "
+        "cooperative search)",
+    )
+    solve.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --pipeline async: max burst lead over the slowest slave",
+    )
+    solve.add_argument(
         "--trace", action="store_true", help="print per-round statistics"
     )
     solve.add_argument(
@@ -240,6 +256,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "error: --record needs a master-driven variant (its/cts1/cts2)"
         )
+    if args.pipeline != "async" and args.max_staleness is not None:
+        raise SystemExit("error: --max-staleness needs --pipeline async")
+    if args.pipeline == "async" and args.variant in ("seq", "async"):
+        raise SystemExit(
+            "error: --pipeline async needs a master-driven variant "
+            "(its/cts1/cts2)"
+        )
 
     if args.variant == "seq":
         result = solve_seq(instance, rng_seed=args.seed, **budget)
@@ -260,6 +283,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 n_rounds=args.rounds,
                 rng_seed=args.seed,
                 recorder=recorder,
+                pipeline=args.pipeline,
+                max_staleness=args.max_staleness,
                 **budget,
             )
         if args.record:
@@ -374,6 +399,15 @@ def _render_event_line(event: dict) -> str:
             f"backoff={event.get('backoff_slaves', 0)} "
             f"dup={event.get('duplicate_reports', 0)} "
             f"stale={event.get('stale_reports', 0)}"
+        )
+    elif kind == "burst_telemetry":
+        detail = (
+            f"slave {event.get('slave_id', '?')} "
+            f"burst {event.get('burst_index', '?')}: "
+            f"{event.get('outcome', '?')} "
+            f"depth={event.get('queue_depth', 0)} "
+            f"staleness={event.get('staleness', 0)} "
+            f"lat={event.get('latency_s', 0.0):.3f}s"
         )
     else:
         # Low-signal event types (telemetry, isp/sgp tallies) get a terse

@@ -45,7 +45,7 @@ from ..farm.clock import VirtualClock
 from ..farm.machine import FarmModel
 from ..farm.trace import EventKind, FarmTrace
 from ..obs.recorder import RunRecorder
-from ..obs.telemetry import RoundTelemetry, collect_round_telemetry
+from ..obs.telemetry import BurstTelemetry, RoundTelemetry, collect_round_telemetry
 from ..parallel.backends import Backend
 from ..parallel.message import SlaveReport, SlaveTask
 from ..rng import derive_rng, make_rng, random_seed_from
@@ -83,6 +83,20 @@ class MasterConfig:
     #: consecutive rounds sits out ``min(2**(f-1), max_backoff_rounds)``
     #: rounds before the master retasks it
     max_backoff_rounds: int = 8
+    #: master execution mode (DESIGN.md §5.9): ``"sync"`` is the Fig. 2
+    #: barrier loop, bit-identical to every earlier release; ``"async"``
+    #: pipelines per-slave bursts with bounded staleness over backends that
+    #: expose ``dispatch()``/``next_report()``
+    pipeline: str = "sync"
+    #: async only: max allowed lead (in bursts) of any slave's dispatch
+    #: frontier over the least-advanced slave's completion count; ``2``
+    #: is classic double buffering
+    max_staleness: int = 2
+    #: async only: per-slave in-flight task cap (``2`` = double buffering)
+    queue_depth: int = 2
+    #: async only: seconds to wait for *any* report before the globally
+    #: oldest outstanding burst is declared lost (``None`` = wait forever)
+    burst_timeout_s: float | None = 30.0
 
     def __post_init__(self) -> None:
         if self.n_slaves < 1:
@@ -93,6 +107,16 @@ class MasterConfig:
             raise ValueError("elite_capacity must be >= 1")
         if self.max_backoff_rounds < 1:
             raise ValueError("max_backoff_rounds must be >= 1")
+        if self.pipeline not in ("sync", "async"):
+            raise ValueError(
+                f"pipeline must be 'sync' or 'async'; got {self.pipeline!r}"
+            )
+        if self.max_staleness < 1:
+            raise ValueError("max_staleness must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.burst_timeout_s is not None and self.burst_timeout_s <= 0:
+            raise ValueError("burst_timeout_s must be positive (or None)")
         if self.initial_strategies and len(self.initial_strategies) != self.n_slaves:
             raise ValueError(
                 "initial_strategies must have one entry per slave "
@@ -175,7 +199,13 @@ class MasterProcess:
         ``budget_per_slave`` caps each slave's *total* work across all
         rounds; each round receives an equal share.  ``None`` runs purely
         structural budgets (``Nb_div``/``Nb_it`` loops only).
+
+        With ``config.pipeline == "async"`` the barrier loop is replaced by
+        bounded-staleness pipelining (:meth:`_run_async`); the default
+        ``"sync"`` path below is untouched and stays bit-identical.
         """
+        if self.config.pipeline == "async":
+            return self._run_async(budget_per_slave)
         t_wall0 = time.perf_counter()
         cfg = self.config
         rec = self.recorder
@@ -452,6 +482,495 @@ class MasterProcess:
             bytes_sent=bytes_sent,
             value_history=value_history,
             fault_summary={k: v for k, v in fault_summary.items() if v},
+        )
+        rec.run_end(
+            best_value=result.best.value,
+            total_evaluations=result.total_evaluations,
+            n_rounds=result.n_rounds,
+            wall_seconds=result.wall_seconds,
+            virtual_seconds=result.virtual_seconds,
+            bytes_sent=result.bytes_sent,
+            fault_summary=result.fault_summary,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_async(self, budget_per_slave: Budget | None) -> ParallelRunResult:
+        """Bounded-staleness pipelined master loop (DESIGN.md §5.9).
+
+        Instead of the Fig. 2 barrier, every slave holds up to
+        ``queue_depth`` tasks in flight; the master consumes reports in
+        arrival order and immediately re-dispatches with the freshest
+        ISP/SGP state (both run incrementally, one entry per report — they
+        are strictly per-entry, so single-entry calls are semantically
+        identical to the batched round calls).  ``max_staleness`` bounds how
+        far any slave's dispatch frontier may run ahead of the
+        least-advanced slave's completion count, so the search never
+        degenerates into one fast slave soloing the instance.
+
+        **Windows.** Burst index ``b`` plays the role of round ``b``: every
+        slave resolves each burst exactly once (report, failure, or backoff
+        skip), and since per-slave resolution is monotone in ``b`` the
+        windows close in order.  A closed window emits the same
+        ``round_start → round_telemetry → … → round_end`` event group as a
+        sync round (phase split synthesized from burst latencies), so every
+        downstream consumer — trace rendering, metrics, summaries,
+        serialization — reads an async run with no schema change.
+
+        **Loss detection.** A report from slave ``k`` for burst ``b``
+        proves every older in-flight burst of ``k`` lost (per-slave arrival
+        order is burst-monotone, even for chaos-delayed reports, which
+        flush ahead of the next computed one); otherwise the globally
+        oldest outstanding burst is failed when ``burst_timeout_s`` passes
+        with no arrival at all.  Under :class:`SerialBackend` replay the
+        whole schedule is deterministic (inline execution makes arrival
+        order equal dispatch order), which is the seeded-determinism
+        contract ``tests/test_pipeline.py`` pins.
+        """
+        t_wall0 = time.perf_counter()
+        cfg = self.config
+        rec = self.recorder
+        P = cfg.n_slaves
+        backend = self.backend
+        if self.farm is not None:
+            raise ValueError(
+                "pipeline='async' has no virtual-farm accounting; "
+                "run the farm model with pipeline='sync'"
+            )
+        if not hasattr(backend, "dispatch") or not hasattr(backend, "next_report"):
+            raise TypeError(
+                f"backend {type(backend).__name__} does not implement the "
+                "pipelined dispatch()/next_report() API required by "
+                "pipeline='async'"
+            )
+        drain_dead = getattr(backend, "drain_dead_slaves", lambda: ())
+
+        self._note("distribute_problem")
+        backend.start(self.instance, cfg.ts_config)
+        rec.run_start(
+            variant=self.variant_name,
+            n_slaves=P,
+            n_rounds=cfg.n_rounds,
+            seed=self.rng_seed,
+            instance=str(getattr(self.instance, "name", "") or ""),
+            instance_size=self.instance.size_label,
+            communicate=cfg.communicate,
+            adapt_strategies=cfg.adapt_strategies,
+        )
+
+        entries: list[SlaveEntry] = []
+        for k in range(P):
+            strategy = (
+                cfg.initial_strategies[k]
+                if cfg.initial_strategies
+                else cfg.bounds.random(self.rng)
+            )
+            entries.append(
+                SlaveEntry(
+                    slave_id=k,
+                    strategy=strategy,
+                    init_solution=random_solution(
+                        self.instance, derive_rng(self.rng_seed, 0, k)
+                    ),
+                )
+            )
+        global_best: Solution = max(
+            (e.init_solution for e in entries), key=lambda s: s.value
+        )
+
+        burst_budget = (
+            Budget.unlimited()
+            if budget_per_slave is None
+            else budget_per_slave.scaled(1.0 / cfg.n_rounds)
+        )
+        target_value = (
+            budget_per_slave.target_value if budget_per_slave is not None else None
+        )
+
+        # --- per-slave pipeline state ----------------------------------
+        next_burst = [0] * P  # dispatch frontier (next undispatched burst)
+        completed = [0] * P  # bursts resolved (report, failure, or skip)
+        inflight: list[list[tuple[int, int, float]]] = [[] for _ in range(P)]
+        resume_burst = [0] * P  # exponential backoff, in burst units
+        consecutive_failures = [0] * P
+        seen_seqs: set[int] = set()
+
+        # --- per-burst windows (round-compatible aggregation) ----------
+        windows: dict[int, dict] = {}
+        next_close = 0
+        rounds: list[RoundStats] = []
+        value_history: list[float] = [global_best.value]
+        total_evaluations = 0
+        bytes_sent = 0
+        fault_summary: Counter[str] = Counter()
+        stop_dispatch = False
+        # run-level pipeline aggregates
+        bursts_completed = 0
+        burst_failures = 0
+        max_staleness_seen = 0
+        queue_depth_sum = 0
+        n_resolutions = 0
+        reclaimed_idle_s = 0.0
+        master_wait_s = 0.0
+
+        def window(b: int) -> dict:
+            w = windows.get(b)
+            if w is None:
+                w = windows[b] = {
+                    "resolved": 0,
+                    "evaluations": 0,
+                    "improved": 0,
+                    "failed": 0,
+                    "backoff": 0,
+                    "duplicates": 0,
+                    "stale": 0,
+                    "n_reports": 0,
+                    "sgp": Counter(),
+                    "isp": Counter(),
+                    "task_nbytes": {},
+                    "report_nbytes": {},
+                    "latency": {},
+                    "wait_s": 0.0,
+                }
+            return w
+
+        def close_ready_windows() -> None:
+            nonlocal next_close, bytes_sent, reclaimed_idle_s
+            while next_close in windows and windows[next_close]["resolved"] >= P:
+                b = next_close
+                w = windows.pop(b)
+                next_close += 1
+                lat = w["latency"]
+                lat_values = list(lat.values())
+                phase = {
+                    "scatter": 0.0,
+                    "compute": min(lat_values) if lat_values else 0.0,
+                    "gather": max(lat_values) if lat_values else 0.0,
+                }
+                rec.round_start(
+                    b, tasked_slaves=P - w["backoff"], backoff_slaves=w["backoff"]
+                )
+                telemetry = RoundTelemetry(
+                    round_index=b,
+                    phase_seconds=phase,
+                    gather_idle_s=dict(lat),
+                    master_wait_s=w["wait_s"],
+                    task_nbytes=dict(w["task_nbytes"]),
+                    report_nbytes=dict(w["report_nbytes"]),
+                    slowdowns={},
+                )
+                rec.round_telemetry(telemetry)
+                bytes_sent += telemetry.total_bytes
+                if w["failed"] or w["backoff"]:
+                    fault_summary["degraded_rounds"] += 1
+                if w["failed"] or w["backoff"] or w["duplicates"] or w["stale"]:
+                    rec.faults(
+                        b,
+                        failed_slaves=w["failed"],
+                        backoff_slaves=w["backoff"],
+                        duplicate_reports=w["duplicates"],
+                        stale_reports=w["stale"],
+                    )
+                if cfg.adapt_strategies:
+                    rec.sgp(b, dict(w["sgp"]))
+                rec.isp(b, dict(w["isp"]))
+                value_history.append(global_best.value)
+                # A straggler holds only its own burst back: everyone
+                # else's latency lead over the slowest report is barrier
+                # idle the pipelining reclaimed.
+                if len(lat_values) >= 2:
+                    slowest = max(lat_values)
+                    reclaimed_idle_s += sum(slowest - v for v in lat_values)
+                rounds.append(
+                    RoundStats(
+                        round_index=b,
+                        best_value=global_best.value,
+                        round_virtual_seconds=0.0,
+                        slave_virtual_seconds={k: 0.0 for k in lat},
+                        communication_seconds=0.0,
+                        evaluations=w["evaluations"],
+                        improved_slaves=w["improved"],
+                        isp_rules=dict(w["isp"]),
+                        sgp_actions=dict(w["sgp"]),
+                        failed_slaves=w["failed"],
+                        backoff_slaves=w["backoff"],
+                        duplicate_reports=w["duplicates"],
+                        stale_reports=w["stale"],
+                        phase_wall_seconds=phase,
+                        gather_idle_s=dict(lat),
+                    )
+                )
+                rec.round_end(
+                    b,
+                    best_value=global_best.value,
+                    evaluations=w["evaluations"],
+                    improved_slaves=w["improved"],
+                    n_reports=w["n_reports"],
+                )
+
+        def resolve(k: int, b: int, outcome: str, latency: float) -> None:
+            nonlocal bursts_completed, max_staleness_seen
+            nonlocal queue_depth_sum, n_resolutions
+            completed[k] += 1
+            w = window(b)
+            w["resolved"] += 1
+            bursts_completed += 1
+            staleness = completed[k] - min(completed)
+            max_staleness_seen = max(max_staleness_seen, staleness)
+            queue_depth_sum += len(inflight[k])
+            n_resolutions += 1
+            rec.burst_telemetry(
+                BurstTelemetry(
+                    slave_id=k,
+                    burst_index=b,
+                    queue_depth=len(inflight[k]),
+                    staleness=staleness,
+                    latency_s=latency,
+                    task_nbytes=int(w["task_nbytes"].get(k, 0)),
+                    report_nbytes=int(w["report_nbytes"].get(k, 0)),
+                    outcome=outcome,
+                )
+            )
+            close_ready_windows()
+
+        def adapt_absent(k: int, w: dict) -> None:
+            """SGP/ISP bookkeeping for a burst that yielded no report."""
+            entry = entries[k]
+            if cfg.adapt_strategies:
+                decisions = update_strategies(
+                    [entry],
+                    [],
+                    cfg.bounds,
+                    cfg.sgp,
+                    self.instance.n_items,
+                    self.rng,
+                    allow_missing=True,
+                )
+                w["sgp"].update(d.action for d in decisions)
+            if cfg.communicate:
+                alpha = (
+                    self.alpha_controller.alpha
+                    if cfg.dynamic_alpha
+                    else cfg.isp.alpha
+                )
+                isp_config = ISPConfig(
+                    alpha=alpha, stagnation_limit=cfg.isp.stagnation_limit
+                )
+                decisions = generate_initial_solutions(
+                    [entry], global_best, self.instance, isp_config, self.rng
+                )
+                w["isp"].update(d.rule for d in decisions)
+            else:
+                own = entry.best
+                if own is not None:
+                    entry.init_solution = own
+                w["isp"]["keep"] += 1
+
+        def fail_burst(k: int, b: int, t_dispatched: float) -> None:
+            nonlocal burst_failures
+            consecutive_failures[k] += 1
+            backoff = min(2 ** (consecutive_failures[k] - 1), cfg.max_backoff_rounds)
+            resume_burst[k] = next_burst[k] + backoff
+            entries[k].stagnant_rounds += 1
+            w = window(b)
+            w["failed"] += 1
+            fault_summary["failed"] += 1
+            burst_failures += 1
+            adapt_absent(k, w)
+            w["latency"][k] = time.perf_counter() - t_dispatched
+            resolve(k, b, "failed", w["latency"][k])
+
+        def fail_head(k: int) -> None:
+            b, _seq, t0 = inflight[k].pop(0)
+            fail_burst(k, b, t0)
+
+        def pump() -> bool:
+            """Dispatch/skip every eligible burst; True if anything moved."""
+            moved = False
+            progress = True
+            while progress and not stop_dispatch:
+                progress = False
+                floor = min(completed)
+                for k in range(P):
+                    b = next_burst[k]
+                    if b >= cfg.n_rounds or b - floor >= cfg.max_staleness:
+                        continue
+                    if b < resume_burst[k]:
+                        # Backoff: the burst resolves instantly as a skip
+                        # (the sync loop's None task), still staleness-paced
+                        # so a failing slave cannot skip ahead of the fleet.
+                        next_burst[k] += 1
+                        w = window(b)
+                        w["backoff"] += 1
+                        entries[k].stagnant_rounds += 1
+                        adapt_absent(k, w)
+                        resolve(k, b, "skipped", 0.0)
+                        moved = progress = True
+                        continue
+                    if len(inflight[k]) >= cfg.queue_depth:
+                        continue
+                    entry = entries[k]
+                    seed = random_seed_from(derive_rng(self.rng_seed, 1 + b, k))
+                    task = SlaveTask(
+                        x_init=entry.init_solution,
+                        strategy=entry.strategy,
+                        budget=burst_budget,
+                        seed=seed,
+                        round_index=b,
+                        seq_id=b * P + k,
+                        pattern=self._fixation_pattern(entry.strategy, k),
+                    )
+                    self._note("dispatch")
+                    nbytes = backend.dispatch(k, task)
+                    window(b)["task_nbytes"][k] = nbytes
+                    inflight[k].append((b, task.seq_id, time.perf_counter()))
+                    next_burst[k] += 1
+                    moved = progress = True
+            return moved
+
+        self.was_cancelled = False
+        while True:
+            if self.cancel is not None and self.cancel.cancelled:
+                self.was_cancelled = True
+                stop_dispatch = True
+            if target_value is not None and global_best.value >= target_value:
+                stop_dispatch = True
+            moved = pump()
+            if not any(inflight):
+                if stop_dispatch or all(b >= cfg.n_rounds for b in next_burst):
+                    break
+                if not moved:  # pragma: no cover - defensive
+                    break
+                continue
+
+            t_wait0 = time.perf_counter()
+            item = backend.next_report(timeout_s=cfg.burst_timeout_s)
+            wait = time.perf_counter() - t_wait0
+            master_wait_s += wait
+            if next_close in windows:
+                windows[next_close]["wait_s"] += wait
+
+            for k in drain_dead():
+                # Worker death invalidates everything it had in flight.
+                while inflight[k]:
+                    fail_head(k)
+            if item is None:
+                if any(inflight):
+                    # Nothing arrived in a full timeout window: declare the
+                    # globally oldest outstanding burst lost.
+                    k_oldest = min(
+                        (k for k in range(P) if inflight[k]),
+                        key=lambda k: (inflight[k][0][0], inflight[k][0][2]),
+                    )
+                    fail_head(k_oldest)
+                continue
+
+            report, report_nbytes = item
+            self._note("receive_report")
+            k = report.slave_id
+            seq = report.seq_id
+            valid = 0 <= k < P and seq == report.round_index * P + k
+            match = None
+            if valid:
+                for i, (_b, s, _t0) in enumerate(inflight[k]):
+                    if s == seq:
+                        match = i
+                        break
+            if match is None:
+                # Duplicate of an accepted report, or a report for a burst
+                # already written off (timeout raced a live slave).
+                key = "duplicates" if valid and seq in seen_seqs else "stale"
+                fault_summary[key] += 1
+                target_w = report.round_index if valid else next_close
+                if target_w in windows or (valid and target_w >= next_close):
+                    window(target_w)[key] += 1
+                continue
+            # Per-slave arrival order is burst-monotone, so this report
+            # proves every older in-flight burst of slave k lost.
+            for _ in range(match):
+                fail_head(k)
+            b, _seq, t_dispatched = inflight[k].pop(0)
+            seen_seqs.add(seq)
+            consecutive_failures[k] = 0
+            now = time.perf_counter()
+            entry = entries[k]
+            w = window(b)
+            w["n_reports"] += 1
+            w["latency"][k] = now - t_dispatched
+            w["report_nbytes"][k] = report_nbytes
+            w["evaluations"] += report.evaluations
+            total_evaluations += report.evaluations
+            changed = entry.absorb_elite(
+                [report.best, *report.elite], cfg.elite_capacity
+            )
+            if changed:
+                entry.stagnant_rounds = 0
+                w["improved"] += 1
+            else:
+                entry.stagnant_rounds += 1
+            global_improved = report.best.value > global_best.value
+            if global_improved:
+                global_best = report.best
+            # Incremental SGP/ISP: the very next dispatch to any slave
+            # already sees this report folded in — the freshness the
+            # barrier loop only achieves once per round.
+            if cfg.adapt_strategies:
+                self._note("sgp")
+                decisions = update_strategies(
+                    [entry],
+                    [report],
+                    cfg.bounds,
+                    cfg.sgp,
+                    self.instance.n_items,
+                    self.rng,
+                    allow_missing=True,
+                )
+                w["sgp"].update(d.action for d in decisions)
+            if cfg.communicate:
+                self._note("isp")
+                alpha = (
+                    self.alpha_controller.update(global_improved)
+                    if cfg.dynamic_alpha
+                    else cfg.isp.alpha
+                )
+                isp_config = ISPConfig(
+                    alpha=alpha, stagnation_limit=cfg.isp.stagnation_limit
+                )
+                decisions = generate_initial_solutions(
+                    [entry], global_best, self.instance, isp_config, self.rng
+                )
+                w["isp"].update(d.rule for d in decisions)
+            else:
+                own = entry.best
+                if own is not None:
+                    entry.init_solution = own
+                w["isp"]["keep"] += 1
+            resolve(k, b, "report", w["latency"][k])
+
+        pipeline_stats = {
+            "bursts_completed": float(bursts_completed),
+            "burst_failures": float(burst_failures),
+            "max_staleness": float(max_staleness_seen),
+            "mean_queue_depth": (
+                queue_depth_sum / n_resolutions if n_resolutions else 0.0
+            ),
+            "reclaimed_idle_s": reclaimed_idle_s,
+            "master_wait_s": master_wait_s,
+        }
+        result = ParallelRunResult(
+            variant=self.variant_name,
+            best=global_best,
+            rounds=rounds,
+            total_evaluations=total_evaluations,
+            virtual_seconds=0.0,
+            wall_seconds=time.perf_counter() - t_wall0,
+            n_slaves=P,
+            trace=None,
+            bytes_sent=bytes_sent,
+            value_history=value_history,
+            fault_summary={k: v for k, v in fault_summary.items() if v},
+            pipeline="async",
+            pipeline_stats=pipeline_stats,
         )
         rec.run_end(
             best_value=result.best.value,

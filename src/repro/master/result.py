@@ -63,6 +63,14 @@ class ParallelRunResult:
     #: ``{"failed": 3, "duplicates": 1, "stale": 2, "degraded_rounds": 4}``.
     #: Empty for a run that never saw a fault.
     fault_summary: dict[str, int] = field(default_factory=dict)
+    #: master execution mode that produced this result: ``"sync"`` (the
+    #: Fig. 2 barrier loop) or ``"async"`` (bounded-staleness pipelining,
+    #: DESIGN.md §5.9)
+    pipeline: str = "sync"
+    #: async-pipeline aggregates (empty for sync runs): bursts completed,
+    #: burst failures, max observed staleness, mean queue depth at burst
+    #: resolution, and barrier idle seconds the pipelining reclaimed
+    pipeline_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_rounds(self) -> int:

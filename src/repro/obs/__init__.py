@@ -30,11 +30,18 @@ from .recorder import (
     summarize_stream,
 )
 from .schema import EVENT_SCHEMAS, validate_event, validate_stream
-from .telemetry import RoundTelemetry, collect_round_telemetry
+from .telemetry import (
+    BurstTelemetry,
+    RoundTelemetry,
+    collect_round_telemetry,
+    merge_round_telemetry,
+)
 
 __all__ = [
+    "BurstTelemetry",
     "RoundTelemetry",
     "collect_round_telemetry",
+    "merge_round_telemetry",
     "RunRecorder",
     "follow_stream",
     "read_stream",

@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import IO, Callable, Iterable, Iterator
 
 from .metrics import MetricsRegistry
-from .telemetry import RoundTelemetry
+from .telemetry import BurstTelemetry, RoundTelemetry
 
 __all__ = [
     "RunRecorder",
@@ -192,6 +192,9 @@ class RunRecorder:
     def round_telemetry(self, telemetry: RoundTelemetry) -> None:
         self.emit("round_telemetry", **telemetry.to_event_fields())
 
+    def burst_telemetry(self, telemetry: BurstTelemetry) -> None:
+        self.emit("burst_telemetry", **telemetry.to_event_fields())
+
     def isp(self, round_index: int, rules: dict[str, int]) -> None:
         self.emit(
             "isp",
@@ -287,6 +290,12 @@ class RunRecorder:
                 sum(record["report_nbytes"].values()),
                 direction="report",
             )
+        elif event == "burst_telemetry":
+            slave = record["slave_id"]
+            m.set_gauge("repro_pipeline_queue_depth", record["queue_depth"], slave=slave)
+            m.set_gauge("repro_pipeline_staleness", record["staleness"], slave=slave)
+            m.inc("repro_bursts_total", outcome=record["outcome"])
+            m.inc("repro_burst_latency_seconds_total", record["latency_s"], slave=slave)
         elif event == "faults":
             for kind, key in (
                 ("failed", "failed_slaves"),
@@ -388,6 +397,10 @@ def summarize_stream(events: list[dict]) -> dict:
     task_bytes = report_bytes = 0
     fault_tallies: Counter[str] = Counter()
     n_rounds = 0
+    n_bursts = 0
+    queue_depth_sum = 0
+    max_staleness = 0
+    burst_outcomes: Counter[str] = Counter()
     for event in events:
         kind = event["event"]
         if kind == "round_telemetry":
@@ -398,6 +411,11 @@ def summarize_stream(events: list[dict]) -> dict:
                 gather_idle[int(slave)] += seconds
             task_bytes += sum(event["task_nbytes"].values())
             report_bytes += sum(event["report_nbytes"].values())
+        elif kind == "burst_telemetry":
+            n_bursts += 1
+            queue_depth_sum += int(event["queue_depth"])
+            max_staleness = max(max_staleness, int(event["staleness"]))
+            burst_outcomes[str(event["outcome"])] += 1
         elif kind == "faults":
             fault_tallies["failed"] += event["failed_slaves"]
             fault_tallies["backoff"] += event["backoff_slaves"]
@@ -424,4 +442,14 @@ def summarize_stream(events: list[dict]) -> dict:
         "gather_idle_ratio": idle_ratio,
         "bytes": {"task": task_bytes, "report": report_bytes},
         "fault_tallies": {k: v for k, v in fault_tallies.items() if v},
+        "pipeline": (
+            {
+                "bursts": n_bursts,
+                "mean_queue_depth": queue_depth_sum / n_bursts,
+                "max_staleness": max_staleness,
+                "outcomes": dict(burst_outcomes),
+            }
+            if n_bursts
+            else None
+        ),
     }

@@ -46,6 +46,18 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
             "slowdowns",
         }
     ),
+    "burst_telemetry": frozenset(
+        {
+            "slave_id",
+            "burst_index",
+            "queue_depth",
+            "staleness",
+            "latency_s",
+            "task_nbytes",
+            "report_nbytes",
+            "outcome",
+        }
+    ),
     "isp": frozenset({"round_index", "rules"}),
     "sgp": frozenset({"round_index", "actions"}),
     "faults": frozenset(

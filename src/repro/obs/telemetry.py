@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RoundTelemetry", "collect_round_telemetry"]
+__all__ = [
+    "BurstTelemetry",
+    "RoundTelemetry",
+    "collect_round_telemetry",
+    "merge_round_telemetry",
+]
 
 
 def _nbytes_by_slave(nbytes: object) -> dict[int, int]:
@@ -83,17 +88,104 @@ class RoundTelemetry:
         }
 
 
+@dataclass(frozen=True)
+class BurstTelemetry:
+    """One pipelined burst's resolution, as the async master observed it.
+
+    The asynchronous dispatch loop (DESIGN.md §5.9) has no round barrier, so
+    the per-round record above is synthesized from windows; this is the raw
+    per-burst measurement underneath — one per (slave, burst) resolution,
+    whether the burst produced a report, was failed by the master, or was
+    skipped for backoff.
+    """
+
+    slave_id: int
+    #: per-slave burst index (the async analogue of the round index)
+    burst_index: int
+    #: tasks still queued at this slave right after the resolution
+    queue_depth: int
+    #: completed bursts this slave is ahead of the slowest live peer
+    staleness: int
+    #: dispatch-to-resolution wall seconds for this burst
+    latency_s: float
+    #: task bytes sent for this burst
+    task_nbytes: int
+    #: report bytes received for this burst (0 for failed/skipped)
+    report_nbytes: int
+    #: how the burst resolved: ``report`` / ``failed`` / ``skipped``
+    outcome: str
+
+    def to_event_fields(self) -> dict:
+        """JSON-ready field dict for the recorder (plain types only)."""
+        return {
+            "slave_id": int(self.slave_id),
+            "burst_index": int(self.burst_index),
+            "queue_depth": int(self.queue_depth),
+            "staleness": int(self.staleness),
+            "latency_s": float(self.latency_s),
+            "task_nbytes": int(self.task_nbytes),
+            "report_nbytes": int(self.report_nbytes),
+            "outcome": str(self.outcome),
+        }
+
+
+def merge_round_telemetry(records: "list[RoundTelemetry]") -> RoundTelemetry:
+    """Fold several telemetry records of one round into a single record.
+
+    Scalars and byte ledgers add, per-slave gather idle adds, slowdown
+    factors keep the worst observed value per slave.  The round index is
+    taken from the first record (they all describe the same round).
+    """
+    if not records:
+        raise ValueError("merge_round_telemetry needs at least one record")
+    phase_seconds: dict[str, float] = {}
+    gather_idle: dict[int, float] = {}
+    task_nbytes: dict[int, int] = {}
+    report_nbytes: dict[int, int] = {}
+    slowdowns: dict[int, float] = {}
+    master_wait = 0.0
+    for rec in records:
+        for phase, seconds in rec.phase_seconds.items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + float(seconds)
+        for k, seconds in rec.gather_idle_s.items():
+            gather_idle[int(k)] = gather_idle.get(int(k), 0.0) + float(seconds)
+        for k, nbytes in rec.task_nbytes.items():
+            task_nbytes[int(k)] = task_nbytes.get(int(k), 0) + int(nbytes)
+        for k, nbytes in rec.report_nbytes.items():
+            report_nbytes[int(k)] = report_nbytes.get(int(k), 0) + int(nbytes)
+        for k, factor in rec.slowdowns.items():
+            slowdowns[int(k)] = max(slowdowns.get(int(k), 1.0), float(factor))
+        master_wait += float(rec.master_wait_s)
+    return RoundTelemetry(
+        round_index=records[0].round_index,
+        phase_seconds=phase_seconds,
+        gather_idle_s=gather_idle,
+        master_wait_s=master_wait,
+        task_nbytes=task_nbytes,
+        report_nbytes=report_nbytes,
+        slowdowns=slowdowns,
+    )
+
+
 def collect_round_telemetry(backend: object, round_index: int) -> RoundTelemetry:
     """Return the backend's telemetry for the round that just ran.
 
     Backends that publish a typed record (``backend.last_telemetry``, set by
-    ``run_round``) are taken at their word; anything else is adapted from
-    the legacy ``last_*`` attribute convention so third-party backends keep
-    working unchanged.
+    ``run_round``) are taken at their word; a backend that ran a round in
+    several bursts may publish a *list* of records, which are merged — not
+    last-write-wins, which silently dropped every burst but the final one.
+    Anything else is adapted from the legacy ``last_*`` attribute convention
+    so third-party backends keep working unchanged.
     """
     told = getattr(backend, "last_telemetry", None)
     if isinstance(told, RoundTelemetry):
         return told
+    if (
+        isinstance(told, (list, tuple))
+        and told
+        and all(isinstance(rec, RoundTelemetry) for rec in told)
+    ):
+        return merge_round_telemetry(list(told))
     return RoundTelemetry(
         round_index=round_index,
         phase_seconds=dict(getattr(backend, "last_phase_seconds", {}) or {}),

@@ -69,7 +69,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from collections import Counter
+from collections import Counter, deque
 from multiprocessing import connection as mp_connection
 from typing import Protocol, Sequence
 
@@ -219,6 +219,11 @@ class SerialBackend:
         self.phase_totals: Counter[str] = Counter()
         #: typed telemetry record of the last round (DESIGN.md §5.5)
         self.last_telemetry: RoundTelemetry | None = None
+        #: pipelined-mode arrival queue: ``(report, payload_nbytes)`` in
+        #: dispatch order (inline execution makes arrival order equal
+        #: dispatch order, which is what makes async serial replay
+        #: seeded-deterministic — DESIGN.md §5.9)
+        self._pending: deque[tuple[SlaveReport, int]] = deque()
 
     def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
         """Bind the backend to a problem; idempotent on a live backend.
@@ -338,6 +343,72 @@ class SerialBackend:
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
+    # ------------------------------------------------------------------ #
+    # Pipelined (bounded-staleness) API — DESIGN.md §5.9.  One task in,
+    # reports out in arrival order; the master owns windows and staleness.
+
+    def _drain_arrivals(self) -> None:
+        while self.master_comm.probe(RESULT_TAG):
+            report = self.master_comm.recv(source=-1, tag=RESULT_TAG)
+            self._pending.append((report, self.master_comm.last_payload_nbytes))
+
+    def dispatch(self, slave_id: int, task: SlaveTask) -> int:
+        """Send one task to one slave; returns the task payload bytes.
+
+        Inline execution: the slave runs immediately and its report (unless
+        a fault destroys it) is queued for :meth:`next_report` before this
+        returns.  Reports a delay fault held from an earlier burst flush
+        first, so per-slave arrival order stays monotone in burst index —
+        the invariant the async master's loss detection rests on.
+        """
+        if self._instance is None or self._config is None:
+            raise RuntimeError("backend not started: call start() first")
+        k = slave_id
+        plan = self.fault_plan
+        report_comm = self._report_comms[k]
+        if isinstance(report_comm, ChaosComm):
+            report_comm.flush_delayed()
+        if plan.drops_task(task.round_index, k):
+            self.fault_counters["drop_task"] += 1
+            self._drain_arrivals()
+            return 0
+        self.master_comm.send(task, dest=k, tag=TASK_TAG)
+        nbytes = self.master_comm.last_payload_nbytes
+        self.last_task_nbytes[k] = nbytes
+        self._slave_comms[k].recv(source=self.n_slaves, tag=TASK_TAG)
+        if plan.crashes(task.round_index, k):
+            # Inline "process death": the task is consumed, no report.
+            self.fault_counters["crash"] += 1
+        else:
+            report = self._execute(k, task)
+            factor = plan.straggle_factor(task.round_index, k)
+            if factor != 1.0:
+                self.fault_counters["straggle"] += 1
+                self.last_slowdowns[k] = factor
+            report_comm.send(report, dest=self.n_slaves, tag=RESULT_TAG)
+        self._drain_arrivals()
+        return nbytes
+
+    def next_report(
+        self, timeout_s: float | None = None
+    ) -> tuple[SlaveReport, int] | None:
+        """Pop the next ``(report, payload_nbytes)`` pair, or ``None``.
+
+        Slaves run inline, so nothing can arrive *later*: an empty queue is
+        final and the timeout is irrelevant — ``None`` returns immediately,
+        which is exactly what lets the async master's timeout policy run
+        deterministically under serial replay.
+        """
+        del timeout_s  # inline slaves: arrival already happened or never will
+        self._drain_arrivals()
+        if self._pending:
+            return self._pending.popleft()
+        return None
+
+    def drain_dead_slaves(self) -> list[int]:
+        """Slaves lost since the last call (inline slaves never die)."""
+        return []
+
     def shutdown(self) -> None:
         """Release the warm runtimes; idempotent, and ``start()`` revives.
 
@@ -348,6 +419,7 @@ class SerialBackend:
         self._runtimes = []
         self._instance = None
         self._config = None
+        self._pending.clear()
 
     def __enter__(self) -> "SerialBackend":
         return self
@@ -603,6 +675,11 @@ class MultiprocessingBackend:
         self.phase_totals: Counter[str] = Counter()
         #: typed telemetry record of the last round (DESIGN.md §5.5)
         self.last_telemetry: RoundTelemetry | None = None
+        #: pipelined-mode arrival buffer: ``(report, nbytes)`` pairs drained
+        #: from worker pipes in arrival order, ahead of master consumption
+        self._report_buffer: deque[tuple[SlaveReport, int]] = deque()
+        #: slave ids whose worker died since the last ``drain_dead_slaves()``
+        self._dead_slaves: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def _group_slaves(self, w: int) -> range:
@@ -882,6 +959,111 @@ class MultiprocessingBackend:
         reports.sort(key=lambda r: (r.slave_id, r.seq_id))
         return reports
 
+    # ------------------------------------------------------------------ #
+    # Pipelined (bounded-staleness) API — DESIGN.md §5.9.
+
+    def dispatch(self, slave_id: int, task: SlaveTask) -> int:
+        """Send one task to one slave without waiting for any report.
+
+        The task travels as a single-entry *batch* envelope, so the worker
+        serves it on the batched path regardless of its primary id (the
+        classic scalar path always executes as the worker's first slave) and
+        always answers with one batch message — possibly empty when a drop
+        fault destroyed the report, which keeps the doorbell pipe's
+        message-per-task cadence intact.  A dead worker is respawned lazily
+        here; if the send itself fails the group's slaves are queued for
+        :meth:`drain_dead_slaves` and 0 is returned.
+        """
+        if not self._procs:
+            raise RuntimeError("backend not started: call start() first")
+        w = slave_id // self.batch_k
+        try:
+            comm = self._ensure_alive(w)
+            sizes = comm.send_tasks([(slave_id, task)])
+            nbytes = sizes.get(slave_id, 0)
+            self.last_task_nbytes[slave_id] = nbytes
+            return nbytes
+        except (BrokenPipeError, OSError):
+            self.fault_counters["send_failed"] += 1
+            self._dead_slaves.update(self._group_slaves(w))
+            self._bury(w)
+            return 0
+
+    def next_report(
+        self, timeout_s: float | None = None
+    ) -> tuple[SlaveReport, int] | None:
+        """Wait for the next ``(report, payload_nbytes)`` pair in arrival order.
+
+        One multiplexed ``connection.wait`` over every live worker pipe;
+        coalesced doorbells are drained eagerly (``poll(0.0)`` loop) so a
+        burst of arrivals costs one select.  Returns ``None`` when the
+        timeout expires with nothing buffered, when no worker is left
+        alive, or when a worker died during the wait (so the caller can
+        observe the loss via :meth:`drain_dead_slaves` without blocking for
+        the full timeout).  Worker death mid-drain buries the worker and
+        records its slaves; reports it delivered before dying still count.
+        """
+        if self._report_buffer:
+            return self._report_buffer.popleft()
+        if not self._procs:
+            return None
+        deadline = None if timeout_s is None else time.perf_counter() + timeout_s
+        n_dead_before = len(self._dead_slaves)
+        while True:
+            live: dict[object, int] = {}
+            for w in range(self.n_workers):
+                comm = self._comms[w]
+                if comm is not None and not comm.closed:
+                    live[comm.connection] = w
+            if not live:
+                return None
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0.0:
+                    return None
+            t_wait = time.perf_counter()
+            ready = mp_connection.wait(list(live), timeout)
+            self.last_master_wait_s = time.perf_counter() - t_wait
+            if not ready:
+                return None  # deadline expired with every worker silent
+            for raw in ready:
+                w = live[raw]
+                comm = self._comms[w]
+                if comm is None or comm.closed:  # pragma: no cover - raced bury
+                    continue
+                try:
+                    while comm.poll(0.0):
+                        obj = comm.recv(tag=RESULT_TAG)
+                        batch = obj if isinstance(obj, list) else [obj]
+                        for report, nbytes in zip(batch, comm.last_entry_nbytes):
+                            self.last_report_nbytes[report.slave_id] = (
+                                self.last_report_nbytes.get(report.slave_id, 0)
+                                + nbytes
+                            )
+                            self._report_buffer.append((report, nbytes))
+                except (EOFError, OSError, TornFrameError):
+                    self.fault_counters["gather_lost"] += 1
+                    self._dead_slaves.update(self._group_slaves(w))
+                    self._bury(w)
+            if self._report_buffer:
+                return self._report_buffer.popleft()
+            if len(self._dead_slaves) > n_dead_before:
+                return None  # surface the loss instead of re-waiting
+            # Only empty batches (drop faults) arrived; keep waiting.
+
+    def drain_dead_slaves(self) -> list[int]:
+        """Slave ids lost since the last call (send/gather failures).
+
+        Consuming: the set is cleared.  Buffered reports those slaves
+        delivered before dying remain valid and still surface through
+        :meth:`next_report` — death invalidates the *in-flight*, not the
+        already-arrived.
+        """
+        dead = sorted(self._dead_slaves)
+        self._dead_slaves.clear()
+        return dead
+
     def shutdown(self) -> None:
         """Stop every worker, bounded by one shared deadline.
 
@@ -927,6 +1109,8 @@ class MultiprocessingBackend:
         self._rings = []
         self.worker_transports = []
         self._stale_due.clear()
+        self._report_buffer.clear()
+        self._dead_slaves.clear()
 
     def __enter__(self) -> "MultiprocessingBackend":
         return self

@@ -201,6 +201,33 @@ class FaultPlan:
                     break
         return cls(events=tuple(events), seed=seed)
 
+    @classmethod
+    def stragglers(
+        cls,
+        seed: int,
+        n_slaves: int,
+        n_rounds: int,
+        *,
+        rate: float = 0.25,
+        factor: float = 8.0,
+    ) -> "FaultPlan":
+        """A straggle-only plan: the pipelined-master benchmark regime.
+
+        No crashes, no message loss — every report arrives, but a seeded
+        quarter of the (round, slave) cells run ``factor`` times slower.
+        Under the synchronous barrier every such cell stalls the whole
+        round; the async pipeline overlaps the stall with its peers'
+        compute, which is exactly the gap ``benchmarks/bench_pipeline.py``
+        measures.
+        """
+        return cls.from_seed(
+            seed,
+            n_slaves,
+            n_rounds,
+            straggle_rate=rate,
+            straggle_factor=factor,
+        )
+
     # ------------------------------------------------------------------ #
     # Queries (hot path: O(1) set membership)
     # ------------------------------------------------------------------ #

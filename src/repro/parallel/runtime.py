@@ -84,6 +84,15 @@ class SlaveRuntime:
         self.last_execute_s = 0.0
         #: cumulative wall seconds spent inside :meth:`execute` since spawn
         self.total_execute_s = 0.0
+        #: wall seconds the arena sat starved before the most recent task —
+        #: the gap between one :meth:`execute` returning and the next
+        #: starting.  Under the Fig. 2 barrier this gap contains the whole
+        #: round-trip to the master; the pipelined mode (DESIGN.md §5.9)
+        #: exists to drive it toward zero by keeping a queued task ready.
+        self.last_idle_s = 0.0
+        #: cumulative starvation seconds since spawn (telemetry)
+        self.total_idle_s = 0.0
+        self._last_done_t: float | None = None
         self._thread = TabuSearch(instance, _BOOT_STRATEGY, config=config)
         #: reduced arenas keyed by pattern signature (ISSUE-8 re-core path);
         #: values are ``(Reduction, TabuSearch)`` pairs over the reduced
@@ -127,6 +136,9 @@ class SlaveRuntime:
         never sees reduced coordinates.
         """
         t0 = time.perf_counter()
+        if self._last_done_t is not None:
+            self.last_idle_s = t0 - self._last_done_t
+            self.total_idle_s += self.last_idle_s
         pattern = task.pattern
         if pattern is not None and not pattern.is_trivial:
             report = self._execute_reduced(task, pattern, slave_id)
@@ -144,7 +156,8 @@ class SlaveRuntime:
                 seq_id=task.seq_id,
             )
         self.tasks_served += 1
-        self.last_execute_s = time.perf_counter() - t0
+        self._last_done_t = time.perf_counter()
+        self.last_execute_s = self._last_done_t - t0
         self.total_execute_s += self.last_execute_s
         return report
 

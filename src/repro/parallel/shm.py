@@ -216,6 +216,25 @@ class ShmRing:
     def free(self) -> int:
         return self.capacity - (self._get(_OFF_WIDX) - self._get(_OFF_RIDX))
 
+    @property
+    def frames_written(self) -> int:
+        """Total frames ever published into the ring."""
+        return self._get(_OFF_FRAMES_WRITTEN)
+
+    @property
+    def frames_read(self) -> int:
+        """Total frames ever consumed from the ring."""
+        return self._get(_OFF_FRAMES_READ)
+
+    def pending_frames(self) -> int:
+        """Frames published but not yet consumed (queue depth on the wire).
+
+        The pipelined master dispatches up to its queue depth ahead of the
+        reader, so this is the per-ring observable that distinguishes "the
+        worker is behind" from "the ring is idle" when diagnosing a stall.
+        """
+        return max(0, self.frames_written - self.frames_read)
+
     # -- wrap-aware byte copies ---------------------------------------- #
     def _write_bytes(self, at: int, data: bytes) -> None:
         pos = at % self.capacity
@@ -715,6 +734,19 @@ class ShmComm:
 
     def poll(self, timeout: float = 0.0) -> bool:
         return self._pipe.poll(timeout)
+
+    def pending_frames(self) -> dict[str, int]:
+        """Frames queued but unconsumed per ring direction (0 when pipe-only).
+
+        Diagnostic for the pipelined dispatch mode: ``send`` counts tasks
+        this endpoint queued ahead of the peer, ``recv`` counts reports the
+        peer queued ahead of us (doorbells may coalesce — several frames can
+        be pending behind one wakeup).
+        """
+        return {
+            "send": self.send_ring.pending_frames() if self.send_ring else 0,
+            "recv": self.recv_ring.pending_frames() if self.recv_ring else 0,
+        }
 
     def close(self) -> None:
         """Close doorbell and ring mappings; never unlinks (owner's job)."""

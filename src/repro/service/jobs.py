@@ -86,6 +86,11 @@ class JobRequest:
     max_evaluations: int | None = None
     virtual_seconds: float | None = None
     target_value: float | None = None
+    #: master execution mode passed through to the solver: ``"sync"`` (the
+    #: barrier loop) or ``"async"`` (bounded-staleness pipelining,
+    #: DESIGN.md §5.9).  Cancellation of an async job takes effect at the
+    #: next burst boundary and still returns the leased backend clean.
+    pipeline: str = "sync"
 
     def __post_init__(self) -> None:
         if self.variant not in _SOLVERS:
@@ -97,6 +102,10 @@ class JobRequest:
             raise ValueError("n_rounds must be >= 1")
         if self.max_evaluations is not None and self.virtual_seconds is not None:
             raise ValueError("give at most one of max_evaluations/virtual_seconds")
+        if self.pipeline not in ("sync", "async"):
+            raise ValueError(
+                f"pipeline must be 'sync' or 'async'; got {self.pipeline!r}"
+            )
 
     def budget_kwargs(self) -> dict[str, object]:
         if self.max_evaluations is not None:
@@ -354,6 +363,7 @@ class JobManager:
                 n_rounds=request.n_rounds,
                 rng_seed=request.rng_seed,
                 target_value=request.target_value,
+                pipeline=request.pipeline,
                 backend=lease.backend,
                 recorder=recorder,
                 cancel=job.token,

@@ -171,6 +171,8 @@ def _solve_master_variant(
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
     core_ratio: float | tuple[float, float] | None = None,
+    pipeline: str = "sync",
+    max_staleness: int | None = None,
 ) -> ParallelRunResult:
     budget = _resolve_budget(
         instance, farm, max_evaluations, virtual_seconds, target_value, wall_seconds
@@ -182,10 +184,17 @@ def _solve_master_variant(
             communicate=communicate,
             adapt_strategies=adapt_strategies,
             bounds=StrategyBounds(core_ratio=_core_bounds(core_ratio)),
+            pipeline=pipeline,
+            **({"max_staleness": max_staleness} if max_staleness is not None else {}),
         )
     elif core_ratio is not None:
         raise ValueError(
             "pass the core ratio through master_config.bounds when supplying "
+            "an explicit MasterConfig"
+        )
+    elif pipeline != "sync" or max_staleness is not None:
+        raise ValueError(
+            "pass pipeline/max_staleness through master_config when supplying "
             "an explicit MasterConfig"
         )
     owns_backend = backend is None
@@ -197,7 +206,10 @@ def _solve_master_variant(
             master_config,
             backend,
             rng_seed=rng_seed,
-            farm=farm,
+            # The async pipeline is pure wall-clock: there is no barrier to
+            # charge a virtual farm round against, so the farm model only
+            # rides along on the sync path.
+            farm=None if master_config.pipeline == "async" else farm,
             variant_name=variant_name,
             recorder=recorder,
             cancel=cancel,
@@ -224,6 +236,8 @@ def solve_its(
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
     core_ratio: float | tuple[float, float] | None = None,
+    pipeline: str = "sync",
+    max_staleness: int | None = None,
 ) -> ParallelRunResult:
     """ITS — P independent threads, no communication, fixed strategies."""
     if master_config is not None:
@@ -247,6 +261,8 @@ def solve_its(
         recorder=recorder,
         cancel=cancel,
         core_ratio=core_ratio,
+        pipeline=pipeline,
+        max_staleness=max_staleness,
     )
 
 
@@ -266,6 +282,8 @@ def solve_cts1(
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
     core_ratio: float | tuple[float, float] | None = None,
+    pipeline: str = "sync",
+    max_staleness: int | None = None,
 ) -> ParallelRunResult:
     """CTS1 — cooperative threads (ISP pooling), fixed strategies."""
     if master_config is not None:
@@ -289,6 +307,8 @@ def solve_cts1(
         recorder=recorder,
         cancel=cancel,
         core_ratio=core_ratio,
+        pipeline=pipeline,
+        max_staleness=max_staleness,
     )
 
 
@@ -308,6 +328,8 @@ def solve_cts2(
     recorder: RunRecorder | None = None,
     cancel: CancelToken | None = None,
     core_ratio: float | tuple[float, float] | None = None,
+    pipeline: str = "sync",
+    max_staleness: int | None = None,
 ) -> ParallelRunResult:
     """CTS2 — full cooperative parallel TS with dynamic strategy tuning."""
     if master_config is not None:
@@ -331,4 +353,6 @@ def solve_cts2(
         recorder=recorder,
         cancel=cancel,
         core_ratio=core_ratio,
+        pipeline=pipeline,
+        max_staleness=max_staleness,
     )

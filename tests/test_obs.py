@@ -24,10 +24,12 @@ from repro.core import Budget
 from repro.master import MasterConfig, MasterProcess
 from repro.obs import (
     EVENT_SCHEMAS,
+    BurstTelemetry,
     MetricsRegistry,
     RoundTelemetry,
     RunRecorder,
     collect_round_telemetry,
+    merge_round_telemetry,
     read_stream,
     replay_metrics,
     summarize_stream,
@@ -508,3 +510,140 @@ class TestTraceFollowCLI:
         out = capsys.readouterr().out
         assert "run_start" in out
         assert "stream still open" in out
+
+class TestMergeRoundTelemetry:
+    """Satellite fix: multi-record rounds aggregate instead of keeping only
+    the last record (the old last-write-wins silently dropped every burst
+    but the final one)."""
+
+    def _records(self):
+        a = RoundTelemetry(
+            round_index=2,
+            phase_seconds={"compute": 1.0},
+            gather_idle_s={0: 0.1},
+            master_wait_s=0.1,
+            task_nbytes={0: 10},
+            report_nbytes={0: 5},
+            slowdowns={0: 2.0},
+        )
+        b = RoundTelemetry(
+            round_index=2,
+            phase_seconds={"compute": 0.5, "gather": 0.2},
+            gather_idle_s={0: 0.2, 1: 0.3},
+            master_wait_s=0.05,
+            task_nbytes={0: 10, 1: 7},
+            report_nbytes={0: 5},
+            slowdowns={0: 4.0},
+        )
+        return a, b
+
+    def test_merge_aggregates_not_last_write_wins(self):
+        a, b = self._records()
+        merged = merge_round_telemetry([a, b])
+        assert merged.round_index == 2
+        assert merged.phase_seconds["compute"] == pytest.approx(1.5)
+        assert merged.phase_seconds["gather"] == pytest.approx(0.2)
+        assert merged.gather_idle_s[0] == pytest.approx(0.3)
+        assert merged.gather_idle_s[1] == pytest.approx(0.3)
+        assert merged.master_wait_s == pytest.approx(0.15)
+        assert merged.task_nbytes == {0: 20, 1: 7}
+        assert merged.report_nbytes == {0: 10}
+        # Slowdown factors keep the worst observed value per slave.
+        assert merged.slowdowns == {0: 4.0}
+
+    def test_merge_needs_at_least_one_record(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_round_telemetry([])
+
+    def test_collect_merges_list_publishing_backends(self):
+        a, b = self._records()
+
+        class BurstyBackend:
+            last_telemetry = [a, b]
+
+        told = collect_round_telemetry(BurstyBackend(), 2)
+        assert told.master_wait_s == pytest.approx(0.15)
+        assert told.task_nbytes == {0: 20, 1: 7}
+
+    def test_collect_single_record_unchanged(self):
+        a, _ = self._records()
+
+        class OneShotBackend:
+            last_telemetry = a
+
+        assert collect_round_telemetry(OneShotBackend(), 2) is a
+
+
+class TestBurstTelemetryObs:
+    """Satellite: pipelined-burst observability (schema, metrics, trace)."""
+
+    def run_recorded_async(self, instance, path=None):
+        backend = SerialBackend(2)
+        config = MasterConfig(n_slaves=2, n_rounds=2, pipeline="async")
+        recorder = RunRecorder(path)
+        master = MasterProcess(
+            instance, config, backend, rng_seed=5, recorder=recorder
+        )
+        try:
+            result = master.run(budget_per_slave=Budget(max_evaluations=2_000))
+        finally:
+            recorder.close()
+            backend.shutdown()
+        return result, recorder
+
+    def test_event_fields_match_pinned_schema(self):
+        told = BurstTelemetry(
+            slave_id=0,
+            burst_index=1,
+            queue_depth=1,
+            staleness=0,
+            latency_s=0.5,
+            task_nbytes=10,
+            report_nbytes=20,
+            outcome="report",
+        )
+        fields = told.to_event_fields()
+        assert set(fields) == EVENT_SCHEMAS["burst_telemetry"]
+        json.dumps(fields)  # must not raise
+        event = {"event": "burst_telemetry", "seq": 0, "t": 0.0, **fields}
+        assert validate_event(event) == []
+
+    def test_async_stream_valid_and_metrics_projection(
+        self, small_instance, tmp_path
+    ):
+        path = tmp_path / "async.jsonl"
+        _, recorder = self.run_recorded_async(small_instance, path)
+        assert validate_stream(path.read_text().splitlines()) == []
+        replayed = replay_metrics(read_stream(path))
+        # 2 slaves x 2 bursts, all healthy.
+        assert replayed.counter_value("repro_bursts_total", outcome="report") == 4
+        assert replayed.counter_value(
+            "repro_bursts_total", outcome="report"
+        ) == recorder.metrics.counter_value("repro_bursts_total", outcome="report")
+        prom = replayed.render_prometheus()
+        assert "repro_pipeline_queue_depth" in prom
+        assert "repro_pipeline_staleness" in prom
+        assert "repro_burst_latency_seconds_total" in prom
+
+    def test_summarize_stream_pipeline_section(self, small_instance):
+        _, recorder = self.run_recorded_async(small_instance)
+        section = summarize_stream(recorder.events)["pipeline"]
+        assert section is not None
+        assert section["bursts"] == 4
+        assert section["outcomes"] == {"report": 4}
+        assert section["max_staleness"] <= 2
+        assert section["mean_queue_depth"] >= 0.0
+
+    def test_sync_stream_has_no_pipeline_section(self, small_instance):
+        _, recorder, _ = run_recorded(small_instance)
+        assert summarize_stream(recorder.events)["pipeline"] is None
+
+    def test_trace_follow_renders_burst_lines(
+        self, small_instance, tmp_path, capsys
+    ):
+        path = tmp_path / "async.jsonl"
+        self.run_recorded_async(small_instance, path)
+        assert cli_main(["trace", str(path), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "burst" in out
+        assert "staleness=" in out

@@ -573,3 +573,82 @@ class TestServiceServer:
             await server.serve_until_shutdown()
 
         run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# Pipelined async jobs (ISSUE-9 satellite)
+# ---------------------------------------------------------------------- #
+class TestAsyncPipelineJobs:
+    def test_invalid_pipeline_rejected(self, small_instance):
+        with pytest.raises(ValueError, match="pipeline"):
+            JobRequest(small_instance, pipeline="turbo")
+
+    def test_async_job_bit_identical_to_direct(self, small_instance):
+        async def scenario():
+            pool = SolverPool.serial(1, 2)
+            manager = JobManager(pool)
+            job_id = manager.submit(
+                JobRequest(
+                    small_instance,
+                    n_rounds=3,
+                    rng_seed=7,
+                    max_evaluations=3000,
+                    pipeline="async",
+                )
+            )
+            await manager.wait(job_id)
+            result = manager.result(job_id)
+            await manager.close()
+            return result
+
+        direct = solve_cts2(
+            small_instance,
+            n_slaves=2,
+            n_rounds=3,
+            rng_seed=7,
+            max_evaluations=3000,
+            pipeline="async",
+        )
+        service_result = run(scenario())
+        assert service_result.pipeline == "async"
+        assert_same_run(service_result, direct)
+
+    def test_cancel_async_job_at_burst_boundary(self, small_instance):
+        """Cancelling an async run takes effect at the next burst boundary:
+        under a second, with the rounds closed so far kept as a partial
+        result and the backend handed back clean."""
+
+        async def scenario():
+            pool = SolverPool.serial(1, 2)
+            manager = JobManager(pool)
+            victim = manager.submit(
+                JobRequest(
+                    small_instance,
+                    n_rounds=5000,
+                    max_evaluations=5_000_000,
+                    pipeline="async",
+                )
+            )
+            while manager.status(victim).rounds_completed < 2:
+                await asyncio.sleep(0.005)
+            t0 = time.monotonic()
+            assert await manager.cancel(victim)
+            status = await manager.wait(victim)
+            elapsed = time.monotonic() - t0
+            result = manager.result(victim)
+            # the slot is immediately reusable for a follow-up sync job
+            follow_up = manager.submit(
+                JobRequest(small_instance, n_rounds=2, max_evaluations=2000)
+            )
+            follow_status = await manager.wait(follow_up)
+            await manager.close()
+            return status, elapsed, result, follow_status
+
+        status, elapsed, result, follow_status = run(scenario())
+        assert status.state is JobState.CANCELLED
+        assert elapsed < 1.0  # observed at the next burst boundary
+        assert 0 < status.rounds_completed < 5000
+        assert result is not None
+        assert result.pipeline == "async"
+        assert len(result.rounds) == status.rounds_completed
+        assert follow_status.state is JobState.DONE
