@@ -36,12 +36,12 @@ import argparse
 import asyncio
 import json
 import platform
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.instances import gk_instance
+from repro.obs import monotonic_s
 from repro.service import JobManager, JobRequest, JobState, SolverPool
 
 from common import publish, scaled
@@ -91,7 +91,7 @@ async def _run_jobs(
         "warm_reuses": sum(s.backend.warm_reuses for s in pool.slots()),
         "cache_hits": manager.cache.stats()["hits"],
     }
-    t0 = time.perf_counter()
+    t0 = monotonic_s()
     job_ids = [
         manager.submit(
             JobRequest(
@@ -107,7 +107,7 @@ async def _run_jobs(
         *(_first_round_t(manager, job_id) for job_id in job_ids)
     )
     statuses = [await manager.wait(job_id) for job_id in job_ids]
-    elapsed = time.perf_counter() - t0
+    elapsed = monotonic_s() - t0
     stats = {
         "leases": pool.leases - base["leases"],
         "affinity_hits": pool.affinity_hits - base["affinity_hits"],

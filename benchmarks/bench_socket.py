@@ -1,0 +1,269 @@
+"""Elastic socket backend: localhost multi-worker speedup + chaos leg.
+
+Two questions about the TCP transport (DESIGN.md §5.10):
+
+* ``speedup`` — does sharding a round over worker *processes* actually
+  buy wall time once the frames cross a socket?  P = 8 logical slaves on
+  GK24 run wall-clock-budgeted tasks (``Budget(wall_seconds=...)`` — each
+  task occupies its arena for a fixed wall window, the farm analogue of
+  the paper's fixed per-round CPU slice, and deliberately insensitive to
+  how many workers share a core) under 1 vs 4 connected workers.  One
+  worker serializes all 8 windows per round; 4 workers overlap them 2-deep.
+  Headline gate: >= 1.7x wall speedup at 4 workers.
+* ``chaos`` — a worker vanishing mid-round (hard ``os._exit`` while
+  serving its shard, the SIGKILL symptom) must not hang or regress the
+  incumbent: the member is buried on heartbeat/EOF, the shard re-dealt,
+  degraded-mode ISP/SGP absorbs the gap.  Gates: the solve completes and
+  its incumbent history is monotone.
+
+Results land in ``benchmarks/results/BENCH_socket.json`` via the shared
+schema (``write_bench_json``) and fold into ``BENCH_index.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_socket.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.core.construction import random_solution
+from repro.core.strategy import Strategy
+from repro.core.tabu_search import TabuSearchConfig
+from repro.core.termination import Budget
+from repro.instances import gk_instance
+from repro.obs import monotonic_s
+from repro.parallel import FaultPlan, SocketBackend
+from repro.parallel.faults import FaultEvent, FaultKind
+from repro.parallel.message import SlaveTask
+
+from common import publish, write_bench_json
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_socket.json"
+
+GK_NUMBER = 24  # GK24-25x500
+N_SLAVES = 8
+N_WORKERS = 4
+SPEEDUP_FLOOR = 1.7
+CONFIG = TabuSearchConfig(nb_div=100)
+
+
+def _tasks(instance, n, round_index, wall_s):
+    return [
+        SlaveTask(
+            x_init=random_solution(instance, rng=k),
+            strategy=Strategy(8, 2, 10),
+            budget=Budget(wall_seconds=wall_s),
+            seed=1000 + round_index * n + k,
+            round_index=round_index,
+            seq_id=round_index * n + k,
+        )
+        for k in range(n)
+    ]
+
+
+def _wait_for_joins(backend: SocketBackend, n: int, timeout_s: float = 30.0) -> None:
+    deadline = monotonic_s() + timeout_s
+    while backend.joins < n:
+        if monotonic_s() > deadline:
+            raise RuntimeError(f"only {backend.joins}/{n} workers joined")
+        backend._pump(0.05)
+
+
+def _run_rounds(instance, n_workers, n_rounds, wall_s) -> dict:
+    """Wall time for ``n_rounds`` full rounds on ``n_workers`` processes."""
+    backend = SocketBackend(N_SLAVES, round_timeout_s=60.0)
+    backend.attach_local_workers(n_workers)
+    try:
+        backend.start(instance, CONFIG)
+        _wait_for_joins(backend, n_workers)
+        # Warm-up round: arenas built, shards dealt, codepaths hot.
+        backend.run_round(_tasks(instance, N_SLAVES, 0, wall_s / 4))
+        t0 = monotonic_s()
+        n_reports = 0
+        for r in range(1, n_rounds + 1):
+            n_reports += len(backend.run_round(_tasks(instance, N_SLAVES, r, wall_s)))
+        elapsed = monotonic_s() - t0
+    finally:
+        backend.shutdown()
+    assert n_reports == n_rounds * N_SLAVES, "speedup leg lost reports"
+    return {
+        "n_workers": n_workers,
+        "wall_s": elapsed,
+        "rounds_per_sec": n_rounds / elapsed,
+    }
+
+
+def _run_chaos(instance, n_rounds) -> dict:
+    """One worker dies mid-round during a real solve; must finish monotone."""
+    from repro.variants import solve_cts2
+
+    doomed = FaultPlan(
+        events=tuple(
+            FaultEvent(round_index=1, slave_id=k, kind=FaultKind.CRASH)
+            for k in range(N_SLAVES)
+        )
+    )
+    backend = SocketBackend(
+        N_SLAVES, round_timeout_s=2.0, heartbeat_timeout_s=5.0
+    )
+    backend.attach_local_workers(N_WORKERS, fault_plans=[doomed, None, None, None])
+    try:
+        _wait_for_joins(backend, N_WORKERS)
+        t0 = monotonic_s()
+        result = solve_cts2(
+            instance,
+            n_slaves=N_SLAVES,
+            n_rounds=n_rounds,
+            rng_seed=11,
+            max_evaluations=1500,
+            backend=backend,
+        )
+        elapsed = monotonic_s() - t0
+        counters = dict(backend.fault_counters)
+    finally:
+        backend.shutdown()
+    history = [float(v) for v in result.value_history]
+    return {
+        "wall_s": elapsed,
+        "monotone": bool(history == sorted(history)),
+        "completed": bool(history and result.best.value == history[-1]),
+        "workers_lost": int(counters.get("worker_lost", 0)),
+        "best_value": float(result.best.value),
+    }
+
+
+def measure(*, smoke: bool) -> dict:
+    instance = gk_instance(GK_NUMBER)
+    wall_s = 0.04 if smoke else 0.15
+    n_rounds = 2 if smoke else 3
+    single = _run_rounds(instance, 1, n_rounds, wall_s)
+    multi = _run_rounds(instance, N_WORKERS, n_rounds, wall_s)
+    chaos = _run_chaos(instance, n_rounds=4)
+    return {
+        "instance": f"GK{GK_NUMBER:02d}",
+        "n_slaves": N_SLAVES,
+        "n_rounds": n_rounds,
+        "task_wall_s": wall_s,
+        "single": single,
+        "multi": multi,
+        "speedup": single["wall_s"] / multi["wall_s"],
+        "chaos": chaos,
+        "smoke": smoke,
+        "python": platform.python_version(),
+    }
+
+
+def render(data: dict) -> str:
+    s, m, c = data["single"], data["multi"], data["chaos"]
+    return "\n".join(
+        [
+            f"{data['instance']}, P={data['n_slaves']}, "
+            f"{data['n_rounds']} rounds of {data['task_wall_s']:.2f}s tasks",
+            f"{'fleet':<22} {'wall':>9} {'rounds/s':>10}",
+            f"{'1 worker process':<22} {s['wall_s']:>8.3f}s {s['rounds_per_sec']:>10.2f}",
+            f"{str(m['n_workers']) + ' worker processes':<22} {m['wall_s']:>8.3f}s "
+            f"{m['rounds_per_sec']:>10.2f}",
+            f"speedup: x{data['speedup']:.2f} (gate: >= {SPEEDUP_FLOOR})",
+            f"chaos leg: worker killed mid-round -> finished in {c['wall_s']:.2f}s, "
+            f"{c['workers_lost']} member(s) buried, "
+            f"incumbent {'monotone' if c['monotone'] else 'REGRESSED'} "
+            f"(best {c['best_value']:,.0f})",
+        ]
+    )
+
+
+def gates(data: dict) -> dict:
+    return {
+        "speedup_4_workers": {
+            "value": round(data["speedup"], 3),
+            "threshold": SPEEDUP_FLOOR,
+            "passed": data["speedup"] >= SPEEDUP_FLOOR,
+        },
+        "chaos_completed": {
+            "value": data["chaos"]["completed"],
+            "threshold": True,
+            "passed": bool(data["chaos"]["completed"]),
+        },
+        "chaos_monotone_incumbent": {
+            "value": data["chaos"]["monotone"],
+            "threshold": True,
+            "passed": bool(data["chaos"]["monotone"]),
+        },
+        "chaos_worker_buried": {
+            "value": data["chaos"]["workers_lost"],
+            "threshold": 1,
+            "passed": data["chaos"]["workers_lost"] >= 1,
+        },
+    }
+
+
+def check(data: dict) -> None:
+    for name, gate in gates(data).items():
+        assert gate["passed"], (
+            f"{name}: {gate['value']} missed threshold {gate['threshold']}"
+        )
+
+
+def persist(data: dict, *, out_dir: Path | None = None) -> None:
+    write_bench_json(
+        "socket",
+        metrics={
+            "speedup_4_workers": round(data["speedup"], 3),
+            "single_rounds_per_sec": round(data["single"]["rounds_per_sec"], 3),
+            "multi_rounds_per_sec": round(data["multi"]["rounds_per_sec"], 3),
+            "chaos_wall_s": round(data["chaos"]["wall_s"], 3),
+            "chaos_workers_lost": data["chaos"]["workers_lost"],
+        },
+        gates=gates(data),
+        meta={
+            "instance": data["instance"],
+            "n_slaves": data["n_slaves"],
+            "n_workers": N_WORKERS,
+            "n_rounds": data["n_rounds"],
+            "task_wall_s": data["task_wall_s"],
+            "smoke": data["smoke"],
+            "python": data["python"],
+        },
+        out_dir=out_dir,
+    )
+
+
+@pytest.mark.benchmark(group="socket")
+def test_socket(benchmark, capsys):
+    data = benchmark.pedantic(measure, kwargs={"smoke": True}, rounds=1)
+    publish(
+        "socket",
+        "Elastic socket backend: localhost worker speedup + chaos",
+        render(data),
+        capsys,
+    )
+    persist(data)
+    check(data)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="result path (BENCH_socket.json lands in its directory)",
+    )
+    args = parser.parse_args(argv)
+
+    data = measure(smoke=args.smoke)
+    print(render(data))
+    persist(data, out_dir=args.out.parent)
+    print(f"-> {args.out.parent / 'BENCH_socket.json'}")
+    check(data)
+
+
+if __name__ == "__main__":
+    main()

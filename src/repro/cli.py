@@ -17,6 +17,8 @@ Commands
               its live round events).
 ``status``    one job's snapshot (or ``--stream`` its remaining events).
 ``cancel``    request cooperative cancellation of a job.
+``worker``    serve slave tasks for a ``solve --listen`` master over TCP
+              until the master stops or disappears.
 
 Examples
 --------
@@ -118,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream observability events (JSONL) to PATH while solving "
         "(its/cts1/cts2 only); inspect later with `repro trace PATH`",
     )
+    solve.add_argument(
+        "--listen",
+        metavar="[HOST:]PORT",
+        help="its/cts1/cts2 only: run the round farm on the elastic socket "
+        "backend, listening here for `repro worker --connect` agents "
+        "(port 0 binds an ephemeral port and prints it)",
+    )
+    solve.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --listen: wait for N connected workers before solving",
+    )
 
     exact = sub.add_parser("exact", help="prove the optimum by branch and bound")
     exact.add_argument("instance")
@@ -178,7 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_endpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1", help="service host")
         p.add_argument(
-            "--port", type=int, default=None, help="service port (default 7621)"
+            "--port",
+            type=int,
+            default=None,
+            help="service port (default 7621; 0 binds an ephemeral port and "
+            "prints the one actually bound)",
         )
 
     serve = sub.add_parser(
@@ -231,6 +251,27 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job_id")
     add_endpoint(cancel)
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve slave tasks for a socket-backend master until it stops",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a `repro solve --listen` (or SocketBackend) master",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name shown in master telemetry"
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between liveness beacons to the master",
+    )
+
     return parser
 
 
@@ -263,6 +304,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             "error: --pipeline async needs a master-driven variant "
             "(its/cts1/cts2)"
         )
+    if args.listen and args.variant in ("seq", "async"):
+        raise SystemExit(
+            "error: --listen needs a master-driven variant (its/cts1/cts2)"
+        )
 
     if args.variant == "seq":
         result = solve_seq(instance, rng_seed=args.seed, **budget)
@@ -276,17 +321,41 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         solver = {"its": solve_its, "cts1": solve_cts1, "cts2": solve_cts2}[
             args.variant
         ]
-        with RunRecorder(args.record, enabled=bool(args.record)) as recorder:
-            result = solver(
-                instance,
-                n_slaves=args.slaves,
-                n_rounds=args.rounds,
-                rng_seed=args.seed,
-                recorder=recorder,
-                pipeline=args.pipeline,
-                max_staleness=args.max_staleness,
-                **budget,
+        backend = None
+        if args.listen:
+            from .parallel import SocketBackend
+
+            listen_host, listen_port = _parse_listen(args.listen)
+            backend = SocketBackend(
+                args.slaves,
+                host=listen_host,
+                port=listen_port,
+                min_workers=args.min_workers,
             )
+            bound_host, bound_port = backend.listen()
+            # Printed before solving so operators can point workers here.
+            print(
+                f"listening for workers on {bound_host}:{bound_port} "
+                f"(connect with `repro worker --connect "
+                f"{bound_host}:{bound_port}`)",
+                flush=True,
+            )
+        try:
+            with RunRecorder(args.record, enabled=bool(args.record)) as recorder:
+                result = solver(
+                    instance,
+                    n_slaves=args.slaves,
+                    n_rounds=args.rounds,
+                    rng_seed=args.seed,
+                    recorder=recorder,
+                    pipeline=args.pipeline,
+                    max_staleness=args.max_staleness,
+                    backend=backend,
+                    **budget,
+                )
+        finally:
+            if backend is not None:
+                backend.shutdown()
         if args.record:
             print(f"recorded {len(recorder.events)} events to {args.record}")
 
@@ -485,6 +554,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    """Parse an ``[HOST:]PORT`` listen spec (bare port listens on loopback)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"error: invalid --listen/--connect spec {spec!r} "
+            "(expected [HOST:]PORT)"
+        ) from None
+    return host or "127.0.0.1", port
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .parallel import run_worker
+
+    host, port = _parse_listen(args.connect)
+    try:
+        return run_worker(
+            host, port, name=args.name, heartbeat_s=args.heartbeat
+        )
+    except ConnectionError as exc:
+        raise SystemExit(
+            f"error: cannot reach a socket-backend master at {host}:{port} "
+            f"(is `repro solve --listen` running?): {exc}"
+        ) from exc
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
 def _endpoint(args: argparse.Namespace) -> tuple[str, int]:
     from .service import DEFAULT_PORT
 
@@ -565,6 +666,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(_serve())
+    except RuntimeError as exc:
+        # e.g. the requested port is taken — actionable message, no traceback
+        raise SystemExit(f"error: {exc}") from exc
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     return 0
@@ -636,6 +740,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "cancel": _cmd_cancel,
+        "worker": _cmd_worker,
     }
     return handlers[args.command](args)
 

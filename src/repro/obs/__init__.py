@@ -21,6 +21,7 @@ event type) and validates recorded streams; ``python -m repro trace``
 renders a recorded run without re-searching.
 """
 
+from .clock import monotonic_s
 from .metrics import MetricsRegistry
 from .recorder import (
     RunRecorder,
@@ -38,6 +39,7 @@ from .telemetry import (
 )
 
 __all__ = [
+    "monotonic_s",
     "BurstTelemetry",
     "RoundTelemetry",
     "collect_round_telemetry",

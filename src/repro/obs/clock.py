@@ -1,0 +1,35 @@
+"""The repo's single monotonic clock for latency accounting.
+
+Every duration the system reports — backend phase splits, gather idle,
+master wait, job TTFR/latency, benchmark gates — must be a difference of
+timestamps from *one* clock.  Historically the backends stamped phases
+with ``time.perf_counter()`` while the job layer stamped
+``submitted_s``/``started_s``/``finished_s`` with ``time.monotonic()``.
+Both are monotonic, but they are *different clocks with different epochs*
+(CPython: ``CLOCK_MONOTONIC`` vs ``CLOCK_MONOTONIC_RAW`` or a
+higher-resolution source, platform-dependent), so cross-clock differences
+such as "queue wait = started_s − submitted_s compared against a
+perf_counter-measured phase" carried a platform-dependent skew.
+
+:func:`monotonic_s` is the one sanctioned source: ``time.perf_counter()``,
+the highest-resolution monotonic clock Python offers.  Timestamps from it
+are meaningful only as differences — never as wall-clock dates — and are
+comparable across threads of one process (NOT across processes; each
+process has its own epoch, which is why the wire protocols never ship raw
+timestamps).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_s"]
+
+
+def monotonic_s() -> float:
+    """Seconds from the process-wide monotonic latency clock.
+
+    All service/backend latency stamps must come from here so their
+    differences are exact, regardless of which module produced each end.
+    """
+    return time.perf_counter()

@@ -1,5 +1,6 @@
 """Message-passing substrate: PVM/MPI-style comm + execution backends."""
 
+from .backend_socket import SocketBackend, run_worker
 from .backends import Backend, MultiprocessingBackend, SerialBackend
 from .comm import (
     Comm,
@@ -43,6 +44,8 @@ __all__ = [
     "Backend",
     "SerialBackend",
     "MultiprocessingBackend",
+    "SocketBackend",
+    "run_worker",
     "Comm",
     "InProcComm",
     "PipeComm",

@@ -1,0 +1,843 @@
+"""Elastic TCP backend: socket transport with dynamic worker membership.
+
+Every earlier backend assumes a fixed fleet wired up at ``start()`` — the
+paper's Fig. 2 farm on one host.  :class:`SocketBackend` promotes the same
+master–slave round protocol onto TCP so workers can live anywhere a socket
+reaches, and makes the fleet *elastic*:
+
+* **join mid-run** — a ``repro worker --connect HOST:PORT`` agent registers
+  with a HELLO frame at any time; the master re-shards the logical slave-id
+  space ``0..P-1`` over the live members and the joiner's first task batch
+  warms its :class:`~repro.parallel.runtime.SlaveRuntime`.  Trajectories
+  depend only on task contents (pinned by ``tests/test_runtime.py``), so a
+  late attach never perturbs a pinned trajectory — it only changes which
+  process executes which slave id.
+* **vanish mid-run** — a closed connection or an expired heartbeat window
+  (normalised through :class:`~repro.parallel.comm.CommTimeout`) buries the
+  member; its slave ids surface through :meth:`SocketBackend.drain_dead_slaves`
+  and the missing reports take the master's existing dead-rank path
+  (degraded-mode ISP/SGP, exponential backoff, monotone incumbent).
+
+Wire protocol (DESIGN.md §5.10): length-prefixed frames ``<tag:u8, len:u32>``
+followed by ``len`` payload bytes.  Task and report payloads are the PR 7
+:class:`~repro.parallel.shm.WireCodec` *batch* envelopes — byte-identical
+to the shm/pipe carriers, so the byte ledgers agree across transports.
+Control frames (HELLO, problem REBIND) are pickled, exactly like the
+control plane of :class:`~repro.parallel.shm.ShmComm`; the transport is
+therefore only safe on trusted networks, same as multiprocessing pipes.
+
+The master's socket I/O runs on one asyncio loop in a daemon thread; the
+blocking backend methods exchange events with it through a queue, so the
+``Backend`` protocol surface (``start`` / ``run_round`` = scatter + gather /
+``dispatch`` / ``next_report`` / ``drain_dead_slaves`` / ``shutdown``) stays
+synchronous and drop-in for both master pipelines and the service pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from collections import Counter, deque
+from typing import Any, Sequence
+
+from ..core.instance import MKPInstance
+from ..core.tabu_search import TabuSearchConfig
+from ..obs.telemetry import RoundTelemetry
+from .backends import (
+    _round_index_of,
+    _same_problem,
+    _straggle,
+    _validate_round,
+)
+from .comm import CommTimeout
+from .faults import FaultPlan
+from .message import REBIND_TAG, RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
+from .runtime import SlaveRuntime
+from .shm import WireCodec
+
+__all__ = ["SocketBackend", "run_worker", "HELLO_TAG", "HEARTBEAT_TAG"]
+
+#: Worker registration frame (worker -> master, pickled info dict).
+HELLO_TAG = 10
+#: Liveness beacon (worker -> master, empty payload).  A worker's heartbeat
+#: thread keeps these flowing even while the main thread is deep in a
+#: compute-bound task, so the master's window only expires on real death.
+HEARTBEAT_TAG = 11
+
+#: Length-prefixed frame header: tag (u8) + payload length (u32).
+_WIRE_HEADER = struct.Struct("<BI")
+
+#: Hard ceiling on a single frame (a REBIND carries a pickled instance;
+#: anything past this is a corrupt or hostile stream, not a message).
+_MAX_FRAME_NBYTES = 1 << 28
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``EOFError`` on a closed peer."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError("peer closed the socket mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[int, bytes]:
+    tag, length = _WIRE_HEADER.unpack(_recv_exact(sock, _WIRE_HEADER.size))
+    if length > _MAX_FRAME_NBYTES:
+        raise RuntimeError(f"frame of {length} bytes exceeds the wire limit")
+    payload = _recv_exact(sock, length) if length else b""
+    return tag, payload
+
+
+class _Member:
+    """Master-side record of one connected worker (backend-thread owned)."""
+
+    __slots__ = ("wid", "name", "pid", "slave_ids")
+
+    def __init__(self, wid: int, info: dict) -> None:
+        self.wid = wid
+        self.name = str(info.get("name", f"worker-{wid}"))
+        self.pid = info.get("pid")
+        self.slave_ids: tuple[int, ...] = ()
+
+
+class SocketBackend:
+    """TCP backend with elastic membership over a fixed slave-id space.
+
+    The *logical* farm size ``n_slaves`` is fixed (the master's ISP/SGP and
+    telemetry are sized by it); the *physical* fleet is whatever is
+    connected right now.  Each member owns a contiguous shard of slave ids,
+    recomputed whenever membership changes; one batched task frame per
+    member per round carries its shard's tasks (the worker's single warm
+    arena serves the whole shard by identity override, exactly like the
+    ``batch_k > 1`` multiprocessing layout).
+
+    Membership state machine per worker: CONNECTED (HELLO accepted) ->
+    BOUND (problem shipped) -> serving; any read error, closed socket or
+    heartbeat-window expiry -> DEAD (buried, shard re-dealt).  A worker is
+    never respawned by the master — respawn is the operator's (or the
+    test harness') job; the master only ever re-deals the shards.
+    """
+
+    def __init__(
+        self,
+        n_slaves: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        round_timeout_s: float | None = 60.0,
+        start_timeout_s: float = 30.0,
+        heartbeat_timeout_s: float | None = 15.0,
+        shutdown_timeout_s: float = 10.0,
+    ) -> None:
+        if n_slaves < 1:
+            raise ValueError("n_slaves must be >= 1")
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if round_timeout_s is not None and round_timeout_s <= 0:
+            raise ValueError("round_timeout_s must be positive (or None)")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive (or None)")
+        self.n_slaves = int(n_slaves)
+        self.host = host
+        self.port = int(port)
+        self.min_workers = int(min_workers)
+        self.round_timeout_s = round_timeout_s
+        self.start_timeout_s = float(start_timeout_s)
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.shutdown_timeout_s = float(shutdown_timeout_s)
+
+        self._instance: MKPInstance | None = None
+        self._config: TabuSearchConfig | None = None
+        self._codec: WireCodec | None = None
+
+        # IO loop plumbing (created by listen()).
+        self._thread: threading.Thread | None = None
+        self._aloop: Any = None
+        self._ready = threading.Event()
+        self._bound_port: int | None = None
+        self._writers: dict[int, Any] = {}  # loop-thread only
+        self._inbox: "queue.Queue[tuple]" = queue.Queue()
+
+        # Backend-thread membership and round state.
+        self._members: dict[int, _Member] = {}
+        self._owner_of: dict[int, int] = {}
+        self._needs_reshard = True
+        self._report_buffer: deque[tuple[SlaveReport, int]] = deque()
+        self._dead_slaves: set[int] = set()
+        self._local_procs: list[mp.Process] = []
+
+        # Standard backend ledgers (see MultiprocessingBackend).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_task_nbytes: dict[int, int] = {}
+        self.last_report_nbytes: dict[int, int] = {}
+        self.last_phase_seconds: dict[str, float] = {}
+        self.last_gather_idle_s: dict[int, float] = {}
+        self.last_master_wait_s: float = 0.0
+        self.phase_totals: Counter[str] = Counter()
+        self.last_telemetry: RoundTelemetry | None = None
+        self.fault_counters: Counter[str] = Counter()
+        self.warm_reuses = 0
+        self.rebinds = 0
+        #: workers that ever registered (joins across the backend's life)
+        self.joins = 0
+
+    # ------------------------------------------------------------------ #
+    # asyncio side (daemon thread)
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; raises if :meth:`listen` never ran."""
+        if self._bound_port is None:
+            raise RuntimeError("backend is not listening: call listen() first")
+        return self.host, self._bound_port
+
+    def listen(self) -> tuple[str, int]:
+        """Bind and start accepting workers; idempotent; returns the address."""
+        if self._thread is not None and self._thread.is_alive():
+            return self.address
+        self._ready.clear()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._io_thread_main, name="repro-socket-io", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=self.start_timeout_s)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._bound_port is None:
+            raise RuntimeError("socket backend failed to bind within the deadline")
+        return self.address
+
+    def _io_thread_main(self) -> None:
+        import asyncio
+
+        async def main() -> None:
+            self._aloop = asyncio.get_running_loop()
+            self._stop_async = asyncio.Event()
+            try:
+                server = await asyncio.start_server(
+                    self._handle_worker, self.host, self.port
+                )
+            except OSError as exc:
+                self._startup_error = RuntimeError(
+                    f"cannot listen on {self.host}:{self.port}: {exc}"
+                )
+                self._ready.set()
+                return
+            self._bound_port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            try:
+                await self._stop_async.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                for writer in list(self._writers.values()):
+                    writer.close()
+
+        asyncio.run(main())
+
+    async def _handle_worker(self, reader: Any, writer: Any) -> None:
+        """One connection's lifetime: HELLO, then frames until death.
+
+        Any read error — EOF, reset, or a heartbeat window expiring (the
+        ``asyncio`` timeout is normalised through
+        :class:`~repro.parallel.comm.CommTimeout`, the same type the pipe
+        transport raises on a silent peer) — ends in exactly one ``leave``
+        event, which is what buries the member's shard.
+        """
+        import asyncio
+
+        wid = -1
+        reason = "closed"
+        try:
+            hello = await asyncio.wait_for(
+                self._read_frame(reader), timeout=self.start_timeout_s
+            )
+            tag, payload = hello
+            if tag != HELLO_TAG:
+                return
+            info = pickle.loads(payload)
+            wid = self._next_wid
+            self._next_wid += 1
+            self._writers[wid] = writer
+            self._inbox.put(("join", wid, info))
+            while True:
+                try:
+                    if self.heartbeat_timeout_s is None:
+                        tag, payload = await self._read_frame(reader)
+                    else:
+                        tag, payload = await asyncio.wait_for(
+                            self._read_frame(reader),
+                            timeout=self.heartbeat_timeout_s,
+                        )
+                except asyncio.TimeoutError as exc:
+                    raise CommTimeout(
+                        f"worker {wid}: no frame within "
+                        f"{self.heartbeat_timeout_s:.1f}s heartbeat window"
+                    ) from exc
+                if tag == HEARTBEAT_TAG:
+                    continue
+                if tag == RESULT_TAG:
+                    self._inbox.put(("report", wid, payload))
+                    continue
+                reason = f"protocol error: unexpected tag {tag}"
+                return
+        except CommTimeout:
+            reason = "heartbeat-timeout"
+        except asyncio.CancelledError:
+            # Loop teardown cancels handler tasks; finishing normally keeps
+            # shutdown quiet (3.11's stream done-callback re-raises a
+            # cancelled task's exception into the loop's error handler).
+            reason = "master-shutdown"
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, EOFError):
+            reason = "closed"
+        except Exception as exc:  # pragma: no cover - defensive
+            reason = f"error: {exc}"
+        finally:
+            self._writers.pop(wid, None)
+            writer.close()
+            if wid >= 0:
+                self._inbox.put(("leave", wid, reason))
+
+    _next_wid = 0
+
+    @staticmethod
+    async def _read_frame(reader: Any) -> tuple[int, bytes]:
+        head = await reader.readexactly(_WIRE_HEADER.size)
+        tag, length = _WIRE_HEADER.unpack(head)
+        if length > _MAX_FRAME_NBYTES:
+            raise RuntimeError(f"frame of {length} bytes exceeds the wire limit")
+        payload = await reader.readexactly(length) if length else b""
+        return tag, payload
+
+    def _send(self, wid: int, tag: int, payload: bytes = b"") -> None:
+        """Schedule one frame to a worker (thread-safe, fire and forget).
+
+        Writes happen on the loop thread in call order, so the per-worker
+        stream stays ordered (bind before tasks); a send to a member that
+        died in flight is silently dropped — the ``leave`` event is the
+        authoritative signal, exactly like a broken pipe on the mp backend.
+        """
+        if self._aloop is None:
+            return
+        frame = _WIRE_HEADER.pack(tag, len(payload)) + payload
+        self.bytes_sent += len(payload)
+
+        def write() -> None:
+            writer = self._writers.get(wid)
+            if writer is not None and not writer.is_closing():
+                try:
+                    writer.write(frame)
+                except Exception:  # pragma: no cover - torn connection
+                    pass
+
+        try:
+            self._aloop.call_soon_threadsafe(write)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    # ------------------------------------------------------------------ #
+    # membership (backend thread)
+    # ------------------------------------------------------------------ #
+    def _pump(self, timeout: float) -> bool:
+        """Drain membership/report events; block up to ``timeout`` for one.
+
+        Returns whether any event was processed.  All mutation of
+        ``_members`` / ``_report_buffer`` / ``_dead_slaves`` funnels through
+        here, so the blocking backend methods see a consistent fleet.
+        """
+        processed = False
+        block = timeout > 0.0
+        while True:
+            try:
+                event = self._inbox.get(timeout=timeout if block else 0.0)
+            except queue.Empty:
+                return processed
+            processed = True
+            block = False  # only the first get may block
+            kind = event[0]
+            if kind == "join":
+                _, wid, info = event
+                member = _Member(wid, info)
+                self._members[wid] = member
+                self._needs_reshard = True
+                self.joins += 1
+                self.fault_counters["worker_join"] += 1
+                if self._instance is not None:
+                    self._send(
+                        wid,
+                        REBIND_TAG,
+                        pickle.dumps((self._instance, self._config)),
+                    )
+            elif kind == "leave":
+                _, wid, reason = event
+                member = self._members.pop(wid, None)
+                if member is not None:
+                    self._needs_reshard = True
+                    self._dead_slaves.update(member.slave_ids)
+                    self.fault_counters["worker_lost"] += 1
+                    if reason == "heartbeat-timeout":
+                        self.fault_counters["heartbeat_timeout"] += 1
+            elif kind == "report":
+                _, wid, payload = event
+                if self._codec is None:
+                    continue  # report raced a shutdown/rebind; drop it
+                reports, sizes = self._codec.decode_report_batch(payload)
+                self.bytes_received += sum(sizes)
+                for report, nbytes in zip(reports, sizes):
+                    self.last_report_nbytes[report.slave_id] = (
+                        self.last_report_nbytes.get(report.slave_id, 0) + nbytes
+                    )
+                    self._report_buffer.append((report, nbytes))
+
+    def _reshard(self) -> None:
+        """Deal the slave-id space 0..P-1 over the live members, contiguously.
+
+        The first ``P mod W`` members (by join order) take one extra id.
+        In-flight tasks are unaffected — reports carry their slave id — so
+        a reshard between rounds is invisible to the master's fold.
+        """
+        members = [self._members[w] for w in sorted(self._members)]
+        self._owner_of.clear()
+        if not members:
+            for member in members:  # pragma: no cover - empty loop, clarity
+                member.slave_ids = ()
+            self._needs_reshard = False
+            return
+        base, extra = divmod(self.n_slaves, len(members))
+        lo = 0
+        for i, member in enumerate(members):
+            width = base + (1 if i < extra else 0)
+            member.slave_ids = tuple(range(lo, lo + width))
+            for k in member.slave_ids:
+                self._owner_of[k] = member.wid
+            lo += width
+        self._needs_reshard = False
+
+    def _fleet(self, deadline: float | None) -> bool:
+        """Ensure at least one live member, pumping until ``deadline``."""
+        self._pump(0.0)
+        while not self._members:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0.0:
+                return False
+            if not self._pump(remaining if remaining is not None else 1.0):
+                return False
+        if self._needs_reshard:
+            self._reshard()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Backend protocol
+    # ------------------------------------------------------------------ #
+    def start(self, instance: MKPInstance, config: TabuSearchConfig) -> None:
+        """Bind the fleet to a problem; waits for ``min_workers`` members.
+
+        Warm-lease semantics match the other backends: same problem on a
+        live backend is a counted no-op, a different problem ships one
+        REBIND frame per member.  Workers that join later receive the
+        current problem in their join handshake, so a mid-run attach needs
+        no extra protocol.
+        """
+        self.listen()
+        if self._instance is not None and _same_problem(
+            self._instance, self._config, instance, config
+        ):
+            self.warm_reuses += 1
+            return
+        deadline = time.perf_counter() + self.start_timeout_s
+        self._pump(0.0)
+        while len(self._members) < self.min_workers:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0.0:
+                host, port = self.address
+                raise RuntimeError(
+                    f"only {len(self._members)}/{self.min_workers} workers "
+                    f"connected to {host}:{port} within "
+                    f"{self.start_timeout_s:.0f}s; start more with "
+                    f"`repro worker --connect {host}:{port}`"
+                )
+            self._pump(remaining)
+        rebinding = self._instance is not None
+        self._instance = instance
+        self._config = config
+        self._codec = WireCodec(instance.n_items)
+        if rebinding:
+            self.rebinds += 1
+        payload = pickle.dumps((instance, config))
+        for wid in sorted(self._members):
+            self._send(wid, REBIND_TAG, payload)
+        if self._needs_reshard:
+            self._reshard()
+
+    def scatter(
+        self, tasks: Sequence[SlaveTask | None]
+    ) -> dict[int, set[int]]:
+        """Ship one round's tasks as one batched frame per member.
+
+        Returns the outstanding map ``{wid: {slave ids not yet reported}}``
+        that :meth:`gather` drains.  Slave ids with no owner (an empty or
+        shrunken fleet) are counted lost immediately — the master's backoff
+        machinery owns their retry schedule.
+        """
+        assert self._codec is not None
+        per_member: dict[int, list[tuple[int, SlaveTask]]] = {}
+        orphans: list[int] = []
+        for k, task in enumerate(tasks):
+            if task is None:
+                continue
+            wid = self._owner_of.get(k)
+            if wid is None or wid not in self._members:
+                orphans.append(k)
+                continue
+            per_member.setdefault(wid, []).append((k, task))
+        outstanding: dict[int, set[int]] = {}
+        for wid, entries in per_member.items():
+            frame, sizes = self._codec.encode_task_batch(entries)
+            self.last_task_nbytes.update(sizes)
+            self._send(wid, TASK_TAG, frame)
+            outstanding[wid] = {k for k, _ in entries}
+        for k in orphans:
+            self.fault_counters["no_owner"] += 1
+            self._dead_slaves.add(k)
+        return outstanding
+
+    def gather(
+        self, outstanding: dict[int, set[int]], deadline: float | None
+    ) -> tuple[list[SlaveReport], float | None, float]:
+        """Drain reports until the round is complete or the deadline passes.
+
+        Returns ``(reports, first_report_s, wait_s)`` where ``wait_s`` is
+        the master's blocked time in the event queue.  Members that die
+        mid-round take the lost-rank path; a member that is merely silent
+        past the deadline is *not* buried — unlike a local process, a
+        remote straggler's liveness is the heartbeat machinery's verdict,
+        not the round clock's.
+        """
+        t_gather = time.perf_counter()
+        reports: list[SlaveReport] = []
+        first_report_s: float | None = None
+        wait_s = 0.0
+
+        def drain_buffer() -> None:
+            nonlocal first_report_s
+            now = time.perf_counter()
+            while self._report_buffer:
+                report, _nbytes = self._report_buffer.popleft()
+                if first_report_s is None:
+                    first_report_s = now - t_gather
+                self.last_gather_idle_s.setdefault(report.slave_id, now - t_gather)
+                reports.append(report)
+                for wid, ids in list(outstanding.items()):
+                    ids.discard(report.slave_id)
+                    if not ids:
+                        del outstanding[wid]
+
+        drain_buffer()
+        while outstanding:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0.0:
+                break
+            t_wait = time.perf_counter()
+            got = self._pump(remaining if remaining is not None else 1.0)
+            wait_s += time.perf_counter() - t_wait
+            if not got and remaining is not None:
+                break  # deadline expired with the fleet silent
+            drain_buffer()
+            for wid in list(outstanding):
+                if wid not in self._members:  # died mid-round
+                    self.fault_counters["gather_lost"] += 1
+                    del outstanding[wid]
+        t_end = time.perf_counter()
+        for ids in outstanding.values():  # silent past the deadline
+            self.fault_counters["gather_lost"] += 1
+            for k in ids:
+                self.last_gather_idle_s.setdefault(k, t_end - t_gather)
+        return reports, first_report_s, wait_s
+
+    def run_round(self, tasks: Sequence[SlaveTask | None]) -> list[SlaveReport]:
+        if self._instance is None or self._codec is None:
+            raise RuntimeError("backend not started: call start() first")
+        _validate_round(tasks, self.n_slaves)
+        self.last_task_nbytes = {}
+        self.last_report_nbytes = {}
+        self.last_gather_idle_s = {}
+        self.last_master_wait_s = 0.0
+        t_scatter = time.perf_counter()
+        deadline = (
+            None
+            if self.round_timeout_s is None
+            else t_scatter + self.round_timeout_s
+        )
+        self._fleet(deadline)
+        outstanding = self.scatter(tasks)
+        t_gather = time.perf_counter()
+        reports, first_report_s, wait_s = self.gather(outstanding, deadline)
+        t_end = time.perf_counter()
+        self.last_master_wait_s = wait_s
+        self.last_phase_seconds = {
+            "scatter": t_gather - t_scatter,
+            "compute": first_report_s if first_report_s is not None else 0.0,
+            "gather": t_end - t_gather,
+        }
+        self.phase_totals.update(self.last_phase_seconds)
+        self.phase_totals["master_wait"] += wait_s
+        self.last_telemetry = RoundTelemetry(
+            round_index=_round_index_of(tasks),
+            phase_seconds=dict(self.last_phase_seconds),
+            gather_idle_s=dict(self.last_gather_idle_s),
+            master_wait_s=self.last_master_wait_s,
+            task_nbytes=dict(self.last_task_nbytes),
+            report_nbytes=dict(self.last_report_nbytes),
+        )
+        reports.sort(key=lambda r: (r.slave_id, r.seq_id))
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Pipelined (bounded-staleness) API — DESIGN.md §5.9 over TCP.
+    # ------------------------------------------------------------------ #
+    def dispatch(self, slave_id: int, task: SlaveTask) -> int:
+        """Send one task as a single-entry batch; returns its payload bytes.
+
+        A slave id with no live owner is recorded for
+        :meth:`drain_dead_slaves` and 0 is returned — the async master's
+        backoff then owns the retry, and a worker joining in the meantime
+        inherits the id at the next reshard.
+        """
+        if self._instance is None or self._codec is None:
+            raise RuntimeError("backend not started: call start() first")
+        self._pump(0.0)
+        if self._needs_reshard:
+            self._reshard()
+        wid = self._owner_of.get(slave_id)
+        if wid is None or wid not in self._members:
+            self.fault_counters["no_owner"] += 1
+            self._dead_slaves.add(slave_id)
+            return 0
+        frame, sizes = self._codec.encode_task_batch([(slave_id, task)])
+        nbytes = sizes.get(slave_id, 0)
+        self.last_task_nbytes[slave_id] = nbytes
+        self._send(wid, TASK_TAG, frame)
+        return nbytes
+
+    def next_report(
+        self, timeout_s: float | None = None
+    ) -> tuple[SlaveReport, int] | None:
+        """Pop the next ``(report, payload_nbytes)`` pair in arrival order.
+
+        Returns ``None`` on timeout, on an empty fleet, or when a member
+        died during the wait — surfacing the loss immediately so the async
+        master can consult :meth:`drain_dead_slaves` instead of blocking
+        out the full timeout (mirrors the mp backend's contract).
+        """
+        if self._report_buffer:
+            return self._report_buffer.popleft()
+        deadline = (
+            None if timeout_s is None else time.perf_counter() + timeout_s
+        )
+        n_dead_before = len(self._dead_slaves)
+        while True:
+            t_wait = time.perf_counter()
+            remaining = None if deadline is None else deadline - t_wait
+            if remaining is not None and remaining <= 0.0:
+                return None
+            got = self._pump(remaining if remaining is not None else 1.0)
+            self.last_master_wait_s = time.perf_counter() - t_wait
+            if self._report_buffer:
+                return self._report_buffer.popleft()
+            if len(self._dead_slaves) > n_dead_before:
+                return None  # surface the loss instead of re-waiting
+            if not got and not self._members:
+                return None
+            if not got and remaining is not None:
+                return None
+
+    def drain_dead_slaves(self) -> list[int]:
+        """Slave ids lost since the last call (consuming)."""
+        dead = sorted(self._dead_slaves)
+        self._dead_slaves.clear()
+        return dead
+
+    # ------------------------------------------------------------------ #
+    def attach_local_workers(
+        self,
+        n: int,
+        *,
+        mp_context: str = "fork",
+        fault_plans: Sequence[FaultPlan | None] | None = None,
+        heartbeat_s: float = 1.0,
+    ) -> list[mp.Process]:
+        """Spawn ``n`` local worker processes pointed at this master.
+
+        Convenience for tests, benchmarks and single-host pools; each
+        process is a full :func:`run_worker` agent, indistinguishable from
+        one started by ``repro worker --connect`` on another machine.
+        They are joined (then terminated) by :meth:`shutdown`.
+        """
+        host, port = self.listen()
+        ctx = mp.get_context(mp_context)
+        procs: list[mp.Process] = []
+        for i in range(n):
+            plan = fault_plans[i] if fault_plans is not None else None
+            proc = ctx.Process(
+                target=run_worker,
+                args=(host, port),
+                kwargs={
+                    "name": f"local-{i}",
+                    "fault_plan": plan,
+                    "heartbeat_s": heartbeat_s,
+                },
+                daemon=True,
+                name=f"repro-socket-worker-{i}",
+            )
+            proc.start()
+            procs.append(proc)
+        self._local_procs.extend(procs)
+        return procs
+
+    def shutdown(self) -> None:
+        """Stop the fleet and the IO loop; idempotent, ``start()`` revives.
+
+        Every member gets one STOP frame, locally attached workers are
+        joined against a single shared deadline (stragglers terminated),
+        and the listener closes — a later ``start()`` binds afresh (a new
+        ephemeral port when ``port=0``).
+        """
+        for wid in list(self._members):
+            self._send(wid, STOP_TAG)
+        if self._aloop is not None:
+            try:
+                self._aloop.call_soon_threadsafe(self._stop_async.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=self.shutdown_timeout_s)
+            self._thread = None
+        self._aloop = None
+        self._bound_port = None
+        deadline = time.monotonic() + self.shutdown_timeout_s
+        for proc in self._local_procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._local_procs:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        self._local_procs = []
+        self._members.clear()
+        self._owner_of.clear()
+        self._needs_reshard = True
+        self._report_buffer.clear()
+        self._dead_slaves.clear()
+        self._instance = None
+        self._config = None
+        self._codec = None
+        while True:  # drop events from the torn-down fleet
+            try:
+                self._inbox.get_nowait()
+            except queue.Empty:
+                break
+
+    def __enter__(self) -> "SocketBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Worker agent
+# ---------------------------------------------------------------------- #
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    heartbeat_s: float = 1.0,
+    fault_plan: FaultPlan | None = None,
+    connect_timeout_s: float = 10.0,
+) -> int:
+    """Serve slave tasks for a :class:`SocketBackend` master until STOP.
+
+    The agent behind ``repro worker --connect HOST:PORT``: registers with
+    HELLO, receives the problem in a REBIND frame, then answers each task
+    batch with one report batch computed on a single warm
+    :class:`~repro.parallel.runtime.SlaveRuntime` (identity override per
+    slave id, so any worker can serve any shard bit-identically).  A
+    daemon thread keeps HEARTBEAT frames flowing while the main thread is
+    compute-bound.  Returns 0 on STOP or a closed master.
+
+    ``fault_plan`` injects worker-side chaos for the seeded test matrix:
+    a scheduled crash is a hard ``os._exit`` mid-batch (the master only
+    observes the symptom — a dead socket), a straggle is a real sleep.
+    """
+    plan = fault_plan or FaultPlan.none()
+    sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+
+    def send_frame(tag: int, payload: bytes = b"") -> None:
+        with send_lock:
+            sock.sendall(_WIRE_HEADER.pack(tag, len(payload)) + payload)
+
+    def beat() -> None:
+        while not stop_beat.wait(heartbeat_s):
+            try:
+                send_frame(HEARTBEAT_TAG)
+            except OSError:
+                return
+
+    send_frame(
+        HELLO_TAG,
+        pickle.dumps({"name": name or f"worker-{os.getpid()}", "pid": os.getpid()}),
+    )
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+    codec: WireCodec | None = None
+    runtime: SlaveRuntime | None = None
+    try:
+        while True:
+            tag, payload = _recv_frame(sock)
+            if tag == STOP_TAG:
+                return 0
+            if tag == REBIND_TAG:
+                instance, config = pickle.loads(payload)
+                codec = WireCodec(instance.n_items)
+                runtime = SlaveRuntime(instance, config, slave_id=0)
+                continue
+            if tag != TASK_TAG:
+                raise RuntimeError(f"worker: unexpected tag {tag}")
+            if codec is None or runtime is None:
+                raise RuntimeError("worker: task frame before problem bind")
+            entries, _sizes = codec.decode_task_batch(payload)
+            if plan.is_empty:
+                reports = runtime.execute_batch(
+                    [t for _, t in entries], [k for k, _ in entries]
+                )
+            else:
+                reports = []
+                for k, task in entries:
+                    if plan.crashes(task.round_index, k):
+                        os._exit(17)
+                    reports.append(runtime.execute(task, slave_id=k))
+                    _straggle(plan, task.round_index, k)
+            frame, _sizes = codec.encode_report_batch(reports)
+            send_frame(RESULT_TAG, frame)
+    except (ConnectionError, EOFError, OSError):
+        return 0  # master went away; nothing left to serve
+    finally:
+        stop_beat.set()
+        sock.close()

@@ -76,7 +76,7 @@ from typing import Protocol, Sequence
 from ..core.instance import MKPInstance
 from ..core.tabu_search import TabuSearchConfig
 from ..obs.telemetry import RoundTelemetry
-from .comm import InProcComm, MessageRouter, PipeComm
+from .comm import CommClosedError, InProcComm, MessageRouter, PipeComm
 from .faults import ChaosComm, FaultPlan
 from .message import REBIND_TAG, RESULT_TAG, STOP_TAG, TASK_TAG, SlaveReport, SlaveTask
 from .runtime import SlaveRuntime
@@ -571,7 +571,7 @@ def _worker_main(
                 continue
             for _ in range(copies):
                 comm.send(report, tag=RESULT_TAG)
-    except (EOFError, BrokenPipeError):  # pragma: no cover - master died
+    except (EOFError, BrokenPipeError, CommClosedError):  # pragma: no cover - master died
         pass
     finally:
         comm.close()
@@ -798,7 +798,7 @@ class MultiprocessingBackend:
                 try:
                     comm.send((instance, config), tag=REBIND_TAG)
                     comm.codec.n_items = instance.n_items
-                except (BrokenPipeError, OSError):
+                except (BrokenPipeError, OSError, CommClosedError):
                     self._bury(w)
             return
         self._instance = instance
@@ -856,7 +856,7 @@ class MultiprocessingBackend:
                 else:
                     self.last_task_nbytes.update(comm.send_tasks(entries))
                     expected[w] = 1  # one batch message, faults or not
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, CommClosedError):
                 # The worker died between liveness check and send; the
                 # round proceeds without it and the next round respawns.
                 self.fault_counters["send_failed"] += 1
@@ -922,7 +922,7 @@ class MultiprocessingBackend:
                             break
                         if not comm.poll(0.0):
                             break  # duplicate still in flight; select again
-                except (EOFError, OSError, TornFrameError):
+                except (EOFError, OSError, TornFrameError, CommClosedError):
                     # The worker died mid-round (or tore its ring).
                     # Messages it delivered before dying still count;
                     # total silence is a loss.
@@ -983,7 +983,7 @@ class MultiprocessingBackend:
             nbytes = sizes.get(slave_id, 0)
             self.last_task_nbytes[slave_id] = nbytes
             return nbytes
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError, CommClosedError):
             self.fault_counters["send_failed"] += 1
             self._dead_slaves.update(self._group_slaves(w))
             self._bury(w)
@@ -1042,7 +1042,7 @@ class MultiprocessingBackend:
                                 + nbytes
                             )
                             self._report_buffer.append((report, nbytes))
-                except (EOFError, OSError, TornFrameError):
+                except (EOFError, OSError, TornFrameError, CommClosedError):
                     self.fault_counters["gather_lost"] += 1
                     self._dead_slaves.update(self._group_slaves(w))
                     self._bury(w)
@@ -1084,7 +1084,7 @@ class MultiprocessingBackend:
                 continue
             try:
                 comm.send(None, tag=STOP_TAG)
-            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+            except (BrokenPipeError, OSError, CommClosedError):  # pragma: no cover - dead worker
                 pass
         deadline = time.monotonic() + self.shutdown_timeout_s
         for proc in self._procs:

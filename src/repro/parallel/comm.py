@@ -183,7 +183,12 @@ class PipeComm:
         self.bytes_sent += nbytes
         # The charged size rides in the frame so the receive side books the
         # identical number without re-pickling the payload (hot-path cost).
-        self._conn.send((tag, nbytes, obj))
+        try:
+            self._conn.send((tag, nbytes, obj))
+        except (BrokenPipeError, OSError) as exc:
+            raise CommClosedError(
+                f"peer gone while sending tag {tag}: {exc}"
+            ) from exc
 
     def recv(self, source: int = 0, tag: int = 0, timeout: float | None = None) -> Any:
         """Receive one tagged message; bounded wait when ``timeout`` is set.
@@ -191,13 +196,36 @@ class PipeComm:
         ``timeout=None`` preserves the original blocking semantics (the
         synchronous barrier); any finite value converts a hung or crashed
         peer into a :class:`CommTimeout` the caller can act on.
+
+        Crash-window hardening: ``poll(timeout)`` can report a readable
+        handle and the peer then die before (or while) the frame is read —
+        ``Connection.recv`` raises a bare ``EOFError``/``OSError`` in that
+        window.  Both are normalised into :class:`CommClosedError` so the
+        gather loops take the existing dead-rank path instead of crashing
+        the master on a raw OS exception.  ``CommTimeout`` is raised
+        *outside* the normalising handler: since Python 3.3 ``TimeoutError``
+        *is* an ``OSError`` subclass, and a naive ``except OSError`` around
+        the poll would silently re-label the timeout as a closed peer.
         """
         self._check_open()
-        if timeout is not None and not self._conn.poll(timeout):
-            raise CommTimeout(
-                f"no message within {timeout:.3f}s (tag {tag}); peer crashed or hung?"
-            )
-        got_tag, nbytes, obj = self._conn.recv()
+        if timeout is not None:
+            try:
+                has_message = self._conn.poll(timeout)
+            except OSError as exc:
+                raise CommClosedError(
+                    f"peer gone while polling tag {tag}: {exc}"
+                ) from exc
+            if not has_message:
+                raise CommTimeout(
+                    f"no message within {timeout:.3f}s (tag {tag}); "
+                    "peer crashed or hung?"
+                )
+        try:
+            got_tag, nbytes, obj = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise CommClosedError(
+                f"peer closed mid-frame while receiving tag {tag}: {exc}"
+            ) from exc
         if got_tag != tag:
             raise RuntimeError(
                 f"protocol error: expected message tag {tag}, received {got_tag}"

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-import time
 from dataclasses import dataclass, field
 from enum import Enum
 from functools import partial
@@ -43,6 +42,7 @@ from functools import partial
 from ..core.instance import MKPInstance
 from ..core.termination import CancelToken
 from ..master.result import ParallelRunResult
+from ..obs.clock import monotonic_s
 from ..obs.recorder import RunRecorder
 from ..variants.runner import solve_cts1, solve_cts2, solve_its
 from .cache import InstanceCache
@@ -153,7 +153,7 @@ class _Job:
     error: str | None = None
     rounds_completed: int = 0
     best_value: float | None = None
-    submitted_s: float = field(default_factory=time.monotonic)
+    submitted_s: float = field(default_factory=monotonic_s)
     started_s: float | None = None
     finished_s: float | None = None
     task: "asyncio.Task | None" = None
@@ -322,7 +322,7 @@ class JobManager:
 
     def _finish(self, job: _Job, state: JobState) -> None:
         job.state = state
-        job.finished_s = time.monotonic()
+        job.finished_s = monotonic_s()
         for queue in job.streams:
             queue.put_nowait(_STREAM_END)
         job.streams.clear()
@@ -348,7 +348,7 @@ class JobManager:
                 self._finish(job, JobState.CANCELLED)
                 return
             job.state = JobState.RUNNING
-            job.started_s = time.monotonic()
+            job.started_s = monotonic_s()
             recorder = RunRecorder()
             recorder.subscribe(
                 lambda record: loop.call_soon_threadsafe(

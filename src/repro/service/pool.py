@@ -134,6 +134,37 @@ class SolverPool:
             ]
         )
 
+    @classmethod
+    def socket(
+        cls,
+        size: int,
+        n_slaves: int,
+        *,
+        local_workers: int = 0,
+        mp_context: str = "fork",
+        **backend_kwargs: object,
+    ) -> "SolverPool":
+        """Pool of :class:`~repro.parallel.backend_socket.SocketBackend` slots.
+
+        Leases *network* capacity: each slot listens on its own (by default
+        ephemeral) port, and any ``repro worker --connect`` agent — on this
+        host or another — serves the jobs that lease the slot.  Workers may
+        join or leave between (and during) jobs; the slot's logical width
+        stays ``n_slaves``.  ``local_workers > 0`` additionally spawns that
+        many worker processes per slot on this host, which makes the pool
+        self-sufficient for tests and single-machine deployments.
+        """
+        from ..parallel.backend_socket import SocketBackend
+
+        backends = []
+        for _ in range(size):
+            backend = SocketBackend(n_slaves, **backend_kwargs)
+            backend.listen()
+            if local_workers:
+                backend.attach_local_workers(local_workers, mp_context=mp_context)
+            backends.append(backend)
+        return cls(backends)
+
     # ------------------------------------------------------------------ #
     @property
     def size(self) -> int:

@@ -29,6 +29,7 @@ sequence of ``{"ok": true, "kind": "event", ...}`` lines closed by one
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import socket
 from typing import Callable, Iterator
@@ -80,10 +81,26 @@ class ServiceServer:
         self._shutdown = asyncio.Event()
 
     async def start(self) -> tuple[str, int]:
-        """Bind and start serving; returns the bound ``(host, port)``."""
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
-        )
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port and reports the one the kernel
+        chose — the race-free pattern for tests and multi-instance hosts.
+        A taken fixed port raises an actionable error instead of the raw
+        ``OSError`` traceback ``repro serve`` used to print.
+        """
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+        except OSError as exc:
+            if exc.errno == errno.EADDRINUSE:
+                raise RuntimeError(
+                    f"port {self.port} on {self.host} is already in use "
+                    "(another `repro serve`?). Pick a different --port, or "
+                    "use --port 0 to bind an ephemeral port — the server "
+                    "prints the port it actually bound."
+                ) from exc
+            raise
         self.port = self._server.sockets[0].getsockname()[1]
         return self.host, self.port
 

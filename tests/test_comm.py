@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core import Budget, Solution, Strategy
 from repro.parallel import (
     CommClosedError,
+    CommTimeout,
     InProcComm,
     MessageRouter,
     PipeComm,
@@ -187,6 +188,68 @@ class TestPipeCommLifecycle:
         with pytest.raises(CommClosedError):
             comm.recv()
         assert comm.poll() is False
+        there.close()
+
+
+def _die_after_partial_frame(conn) -> None:
+    """Write half a frame on the raw handle, then die without cleanup.
+
+    Reproduces the crash window: the parent's ``poll(timeout)`` sees a
+    readable handle, but the frame can never complete — ``Connection.recv``
+    then raises a bare ``EOFError``/``OSError`` mid-read.
+    """
+    import os
+
+    # A multiprocessing frame is a 4-byte big-endian length + payload;
+    # claim 64 bytes, deliver 4, and vanish.
+    os.write(conn.fileno(), b"\x00\x00\x00\x40" + b"dead")
+    os._exit(9)
+
+
+class TestPipeCommCrashWindow:
+    """Regression: a peer dying mid-frame must surface as CommClosedError."""
+
+    def test_recv_normalizes_peer_closed_before_frame(self):
+        here, there = mp.Pipe()
+        comm = PipeComm(here)
+        there.close()  # peer gone; poll() reports readable (EOF) instantly
+        with pytest.raises(CommClosedError):
+            comm.recv(timeout=1.0)
+        comm.close()
+
+    def test_recv_normalizes_killed_peer_partial_frame(self, mp_context):
+        ctx = mp.get_context(mp_context)
+        here, there = ctx.Pipe()
+        proc = ctx.Process(target=_die_after_partial_frame, args=(there,))
+        proc.start()
+        there.close()  # only the child holds the peer end now
+        comm = PipeComm(here)
+        proc.join(timeout=10)
+        # poll(timeout) returns True — bytes ARE waiting — yet the frame is
+        # torn: recv must report a closed peer, not a raw OS exception.
+        with pytest.raises(CommClosedError):
+            comm.recv(timeout=5.0)
+        comm.close()
+
+    def test_send_normalizes_broken_pipe(self):
+        here, there = mp.Pipe()
+        comm = PipeComm(here)
+        there.close()
+        with pytest.raises(CommClosedError):
+            for _ in range(64):  # first sends may land in the OS buffer
+                comm.send("x")
+        comm.close()
+
+    def test_timeout_is_not_mislabelled_as_closed(self):
+        # TimeoutError is an OSError subclass since Python 3.3: a silent
+        # (but live) peer must still raise CommTimeout, never be swallowed
+        # by the closed-peer normalization.
+        here, there = mp.Pipe()
+        comm = PipeComm(here)
+        with pytest.raises(CommTimeout):
+            comm.recv(timeout=0.01)
+        assert issubclass(CommTimeout, OSError)  # the trap being guarded
+        comm.close()
         there.close()
 
 

@@ -618,3 +618,106 @@ class TestShmTransportChaos:
         assert history, "chaos run produced no incumbent history"
         assert history == sorted(history), "incumbent regressed under chaos"
         assert result.best.value == history[-1]
+
+
+class TestSocketBackendChaos:
+    """Elastic socket backend under worker death (DESIGN.md §5.10).
+
+    A scheduled :class:`FaultKind.CRASH` in a ``repro worker`` agent is a
+    hard ``os._exit`` mid-batch — from the master's side indistinguishable
+    from a SIGKILLed worker: the TCP stream dies mid-round, the member is
+    buried, its shard re-dealt to the survivor.  Both pipelines must absorb
+    that with a monotone incumbent and no hang.
+    """
+
+    @staticmethod
+    def _elastic_backend(mp_context):
+        """3-slave farm on 2 workers; the first worker dies in round 1.
+
+        The crash plan covers every slave id, so whichever shard the doomed
+        worker holds when round 1 arrives triggers it; the second worker is
+        fault-free and absorbs the re-dealt shard.  Both workers must hold
+        a shard before the run so the death actually buries slave ids.
+        """
+        from repro.parallel import SocketBackend
+
+        doomed = FaultPlan(
+            events=tuple(
+                FaultEvent(round_index=1, slave_id=k, kind=FaultKind.CRASH)
+                for k in range(3)
+            )
+        )
+        backend = SocketBackend(3, round_timeout_s=2.0, heartbeat_timeout_s=5.0)
+        backend.attach_local_workers(
+            2, mp_context=mp_context, fault_plans=[doomed, None]
+        )
+        deadline = time.perf_counter() + 10.0
+        while backend.joins < 2 and time.perf_counter() < deadline:
+            backend._pump(0.05)
+        assert backend.joins == 2, "workers never connected"
+        return backend
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("pipeline", ["sync", "async"])
+    def test_worker_killed_mid_round_keeps_incumbent_monotone(
+        self, small_instance, mp_context, seed, pipeline
+    ):
+        from repro.variants import solve_cts2
+
+        backend = self._elastic_backend(mp_context)
+        try:
+            result = solve_cts2(
+                small_instance,
+                n_slaves=3,
+                n_rounds=4,
+                rng_seed=seed,
+                max_evaluations=600,
+                backend=backend,
+                pipeline=pipeline,
+            )
+        finally:
+            counters = dict(backend.fault_counters)
+            swept = backend.drain_dead_slaves()
+            backend.shutdown()
+        history = [float(v) for v in result.value_history]
+        assert history, "chaos run produced no incumbent history"
+        assert history == sorted(history), "incumbent regressed under chaos"
+        assert result.best.value == history[-1]
+        # The dead member is buried in the fault telemetry...
+        assert counters.get("worker_lost", 0) >= 1
+        if pipeline == "sync":
+            # ...and its shard surfaces through the dead-slave sweep (the
+            # async master consumes the sweep itself during the run).
+            assert swept != []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_worker_chaos_matrix(self, small_instance, mp_context, seed):
+        """Randomized worker-side schedule: crashes + stragglers, no hang."""
+        from repro.parallel import SocketBackend
+        from repro.variants import solve_cts2
+
+        plan = FaultPlan.from_seed(
+            seed,
+            n_slaves=3,
+            n_rounds=4,
+            crash_rate=0.1,
+            straggle_rate=0.3,
+        )
+        backend = SocketBackend(3, round_timeout_s=2.0, heartbeat_timeout_s=5.0)
+        backend.attach_local_workers(
+            2, mp_context=mp_context, fault_plans=[plan, None]
+        )
+        try:
+            result = solve_cts2(
+                small_instance,
+                n_slaves=3,
+                n_rounds=4,
+                rng_seed=seed,
+                max_evaluations=600,
+                backend=backend,
+            )
+        finally:
+            backend.shutdown()
+        history = [float(v) for v in result.value_history]
+        assert history == sorted(history), "incumbent regressed under chaos"
+        assert result.best.value == history[-1]

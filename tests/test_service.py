@@ -494,11 +494,78 @@ class TestJobManagerMultiprocessing:
 
 
 # ---------------------------------------------------------------------- #
+# Latency accounting
+# ---------------------------------------------------------------------- #
+class TestLatencyAccounting:
+    def test_job_stamps_share_the_backend_clock(self, small_instance):
+        """Accounting invariant: every latency stamp is one clock's reading.
+
+        The job layer used to stamp ``submitted_s``/``started_s``/
+        ``finished_s`` with ``time.monotonic()`` while the backends phase
+        against ``time.perf_counter()`` — two monotonic clocks with
+        different epochs, so cross-derived numbers (queue wait vs phase
+        seconds) carried a platform-dependent skew.  With everything on
+        :func:`repro.obs.monotonic_s`, a job's stamps must interleave with
+        readings taken around it on that same clock.
+        """
+        from repro.obs import monotonic_s
+
+        async def scenario():
+            pool = SolverPool.serial(1, 2)
+            manager = JobManager(pool)
+            t0 = monotonic_s()
+            job_id = manager.submit(
+                JobRequest(small_instance, n_rounds=2, max_evaluations=1000)
+            )
+            status = await manager.wait(job_id)
+            t1 = monotonic_s()
+            await manager.close()
+            assert t0 <= status.submitted_s <= t1
+            assert status.started_s is not None
+            assert status.finished_s is not None
+            assert status.submitted_s <= status.started_s
+            assert status.started_s <= status.finished_s <= t1
+            # Sanity on magnitude: the whole job ran inside [t0, t1], so
+            # derived latencies must fit in that window — impossible to
+            # satisfy if two different clock epochs were mixed.
+            assert status.finished_s - status.submitted_s <= t1 - t0
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------- #
 # TCP transport
 # ---------------------------------------------------------------------- #
 class TestServiceServer:
     def test_default_port_documented(self):
         assert DEFAULT_PORT == 7621
+
+    def test_port_zero_reports_bound_port(self, small_instance):
+        async def scenario():
+            pool = SolverPool.serial(1, 2)
+            manager = JobManager(pool)
+            server = ServiceServer(manager, port=0)
+            host, port = await server.start()
+            assert port > 0
+            assert server.port == port  # re-reads see the real port
+            server._shutdown.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(scenario())
+
+    def test_taken_port_raises_actionable_error(self, small_instance):
+        async def scenario():
+            pool = SolverPool.serial(1, 2)
+            manager = JobManager(pool)
+            first = ServiceServer(manager, port=0)
+            host, port = await first.start()
+            second = ServiceServer(manager, port=port)
+            with pytest.raises(RuntimeError, match="--port 0"):
+                await second.start()
+            first._shutdown.set()
+            await first.serve_until_shutdown()
+
+        asyncio.run(scenario())
 
     def test_round_trip(self, small_instance):
         spec = {
